@@ -1,0 +1,30 @@
+//! Monte-Carlo cascade simulation throughput (incentive pricing cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::SmallRng, SeedableRng};
+use rm_diffusion::{estimate_spread, TicModel, TopicDistribution};
+use rm_graph::generators;
+
+fn bench_cascades(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = generators::chung_lu_directed(10_000, 80_000, 2.3, &mut rng);
+    let probs = TicModel::weighted_cascade(&g).ad_probs(&TopicDistribution::uniform(1));
+    let seeds: Vec<u32> = (0..20).map(|i| i * 37).collect();
+    let runs = 5_000usize;
+
+    let mut group = c.benchmark_group("cascade_mc");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(runs as u64));
+    group.bench_function("spread_20seeds_5k_runs", |b| {
+        let mut salt = 0u64;
+        b.iter(|| {
+            salt += 1;
+            estimate_spread(&g, &probs, &seeds, runs, salt)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascades);
+criterion_main!(benches);

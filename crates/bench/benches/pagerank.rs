@@ -1,0 +1,26 @@
+//! Weighted PageRank (baseline candidate ordering) cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use rm_diffusion::{TicModel, TopicDistribution};
+use rm_graph::{generators, pagerank, PageRankConfig};
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let g = generators::chung_lu_directed(20_000, 160_000, 2.3, &mut rng);
+    let probs = TicModel::weighted_cascade(&g).ad_probs(&TopicDistribution::uniform(1));
+
+    let mut group = c.benchmark_group("pagerank");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(15);
+    group.bench_function("uniform_20k", |b| {
+        b.iter(|| pagerank::pagerank(&g, PageRankConfig::default(), None));
+    });
+    group.bench_function("ad_weighted_20k", |b| {
+        b.iter(|| pagerank::pagerank(&g, PageRankConfig::default(), Some(probs.as_slice())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id> [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]
+//!
+//! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5
+//!      ablation-lazy ablation-term ablation-singleton
+//!      quality   (fig2+fig3+fig4)
+//!      scalability (fig5+table3)
+//!      all
+//! ```
+//!
+//! `fig2`/`fig3` share one sweep (same runs, different reported metric), as
+//! do `fig5`/`table3`.
+
+use rm_bench::experiments::{self, Opts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let mut opts = Opts::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                opts.scale = v.parse().expect("--scale must be a float");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                opts.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--quick" => opts.quick = true,
+            "--paper-eps" => opts.paper_eps = true,
+            "--paper-scale" => opts.scale = 1.0,
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    println!(
+        "# experiments: {ids:?}  scale={} seed={} quick={} paper_eps={}",
+        opts.scale, opts.seed, opts.quick, opts.paper_eps
+    );
+    for id in ids {
+        run(&id, opts);
+    }
+}
+
+fn run(id: &str, opts: Opts) {
+    let t0 = std::time::Instant::now();
+    match id {
+        "table1" => experiments::table1(opts),
+        "table2" => experiments::table2(opts),
+        "fig1" => experiments::fig1(opts),
+        "fig2" | "fig3" | "fig23" => experiments::fig2_fig3(opts),
+        "fig4" => experiments::fig4(opts),
+        "fig5" | "table3" => experiments::fig5_table3(opts),
+        "ablation-lazy" => experiments::ablation_lazy(opts),
+        "ablation-term" => experiments::ablation_termination(opts),
+        "ablation-singleton" => experiments::ablation_singleton(opts),
+        "quality" => {
+            experiments::fig2_fig3(opts);
+            experiments::fig4(opts);
+        }
+        "scalability" => experiments::fig5_table3(opts),
+        "all" => {
+            experiments::table1(opts);
+            experiments::table2(opts);
+            experiments::fig1(opts);
+            experiments::fig2_fig3(opts);
+            experiments::fig4(opts);
+            experiments::fig5_table3(opts);
+            experiments::ablation_lazy(opts);
+            experiments::ablation_termination(opts);
+            experiments::ablation_singleton(opts);
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+    println!("[{id}] finished in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments <id>... [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]\n\
+         ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5\n\
+              ablation-lazy ablation-term ablation-singleton quality scalability all"
+    );
+}

@@ -1,0 +1,16 @@
+//! # rm-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5) on the
+//! synthetic dataset analogues, plus the ablations listed in `DESIGN.md`.
+//!
+//! * [`setup`] — instance builders following the paper's protocol: Table 2
+//!   budget/CPE assignment, per-incentive-model α grids, per-dataset
+//!   propagation models and incentive pricing methods.
+//! * [`report`] — plain-text table printing and CSV emission (no external
+//!   serialization crates), written under `target/experiments/`.
+//! * [`experiments`] — one function per paper artifact (`table1` … `fig5`)
+//!   and per ablation, shared by the `experiments` binary.
+
+pub mod experiments;
+pub mod report;
+pub mod setup;

@@ -1,0 +1,139 @@
+//! Table printing and CSV emission for the experiment harness.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple rectangular result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// File stem for the CSV (e.g. `fig2_revenue`).
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (panics on column-count mismatch).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row shape mismatch in {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Prints as an aligned text table.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            s.trim_end().to_string()
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+
+    /// Writes a CSV to `target/experiments/<name>.csv`, returning the path.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = out_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", csv_line(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", csv_line(row))?;
+        }
+        f.flush()?;
+        Ok(path)
+    }
+
+    /// Prints the table and writes the CSV, reporting the path.
+    pub fn emit(&self) {
+        println!("\n== {} ==", self.name);
+        self.print();
+        match self.write_csv() {
+            Ok(p) => println!("[csv] {}", p.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}", self.name),
+        }
+    }
+}
+
+/// Output directory for experiment CSVs.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+fn csv_line(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("unit_test_table", &["a", "b"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        let p = t.write_csv().unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.25), "42.2");
+        assert_eq!(fmt(1.5), "1.500");
+    }
+}

@@ -1,0 +1,249 @@
+//! Multi-round adaptive campaigns — the paper's future-work direction (iv):
+//! "study our problem in an online adaptive setting where the partial
+//! results of the campaign can be taken into account while deciding the next
+//! moves."
+//!
+//! The host splits the time window into rounds. Each round it (a) runs the
+//! scalable greedy on the *residual* instance (remaining budgets, already
+//! activated users excluded from payment-relevant spread), (b) commits a
+//! bounded number of new seeds, (c) observes the realized cascade of those
+//! seeds (simulated here), and (d) charges each advertiser its *realized*
+//! engagements rather than the expectation. Adaptivity helps exactly when
+//! realizations deviate from expectations: under-performing ads keep budget
+//! for later rounds instead of over-committing incentives upfront.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rm_diffusion::cascade::simulate_cascade_nodes;
+use rm_diffusion::CascadeWorkspace;
+use rm_graph::NodeId;
+
+use crate::allocation::SeedAllocation;
+use crate::instance::RmInstance;
+use crate::scalable::{AlgorithmKind, ScalableConfig, TiEngine};
+
+/// Configuration of an adaptive campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Number of observation rounds.
+    pub rounds: usize,
+    /// Maximum seeds committed per advertiser per round.
+    pub seeds_per_round: usize,
+    /// Engine configuration for the per-round planning runs.
+    pub engine: ScalableConfig,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { rounds: 4, seeds_per_round: 5, engine: ScalableConfig::default() }
+    }
+}
+
+/// Outcome of an adaptive campaign.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptiveOutcome {
+    /// All seeds committed, per ad, in commit order.
+    pub allocation: SeedAllocation,
+    /// Realized engagements (activated users) per ad, deduplicated across
+    /// rounds.
+    pub realized_engagements: Vec<usize>,
+    /// Realized revenue per ad: `cpe(i) · engagements_i`.
+    pub realized_revenue: Vec<f64>,
+    /// Incentives paid per ad.
+    pub incentives_paid: Vec<f64>,
+    /// Budget left per ad at the end of the campaign.
+    pub budget_left: Vec<f64>,
+    /// Seeds committed per round (diagnostic).
+    pub seeds_per_round: Vec<usize>,
+}
+
+impl AdaptiveOutcome {
+    /// Total realized host revenue.
+    pub fn total_revenue(&self) -> f64 {
+        self.realized_revenue.iter().sum()
+    }
+}
+
+/// Runs an adaptive campaign: plan → commit → observe → recharge, for
+/// `cfg.rounds` rounds. Deterministic in `seed` (planning and cascade
+/// realizations use split RNG streams).
+pub fn run_adaptive_campaign(
+    inst: &RmInstance,
+    kind: AlgorithmKind,
+    cfg: AdaptiveConfig,
+    seed: u64,
+) -> AdaptiveOutcome {
+    let h = inst.num_ads();
+    let n = inst.num_nodes();
+    let mut outcome = AdaptiveOutcome {
+        allocation: SeedAllocation::empty(h),
+        realized_engagements: vec![0; h],
+        realized_revenue: vec![0.0; h],
+        incentives_paid: vec![0.0; h],
+        budget_left: inst.ads.iter().map(|a| a.budget).collect(),
+        seeds_per_round: Vec::new(),
+    };
+    let mut engaged: Vec<Vec<bool>> = vec![vec![false; n]; h]; // per ad
+    let mut taken = vec![false; n]; // partition matroid across rounds
+    let mut ws = CascadeWorkspace::new(n);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xADA9);
+
+    for round in 0..cfg.rounds {
+        // Residual instance: shrink budgets to what is left.
+        let mut residual = inst.clone();
+        for (ad, left) in residual.ads.iter_mut().zip(&outcome.budget_left) {
+            if *left <= 0.0 {
+                // Budget gone: make the ad unable to take anything. A tiny
+                // positive budget below every singleton payment suffices.
+                ad.budget = f64::MIN_POSITIVE;
+            } else {
+                ad.budget = *left;
+            }
+        }
+        let engine_cfg = ScalableConfig {
+            seed: cfg.engine.seed ^ ((round as u64) << 8),
+            ..cfg.engine
+        };
+        let (plan, _) = TiEngine::new(&residual, kind, engine_cfg).run();
+
+        // Commit up to seeds_per_round new, still-free seeds per ad.
+        let mut committed_this_round = 0;
+        for i in 0..h {
+            let mut committed = 0;
+            for &v in &plan.seeds[i] {
+                if committed >= cfg.seeds_per_round {
+                    break;
+                }
+                if taken[v as usize] {
+                    continue;
+                }
+                let incentive = inst.incentives[i].cost(v);
+                if incentive > outcome.budget_left[i] {
+                    continue;
+                }
+                taken[v as usize] = true;
+                outcome.allocation.seeds[i].push(v);
+                outcome.incentives_paid[i] += incentive;
+                outcome.budget_left[i] -= incentive;
+                committed += 1;
+                committed_this_round += 1;
+
+                // Observe the realized cascade of this seed and charge CPE
+                // for each *new* engagement while budget lasts.
+                let activated: Vec<NodeId> = simulate_cascade_nodes(
+                    &inst.graph,
+                    &inst.ad_probs[i],
+                    &[v],
+                    &mut ws,
+                    &mut rng,
+                );
+                for u in activated {
+                    if engaged[i][u as usize] {
+                        continue;
+                    }
+                    if outcome.budget_left[i] < inst.ads[i].cpe {
+                        break; // advertiser stops paying mid-cascade
+                    }
+                    engaged[i][u as usize] = true;
+                    outcome.realized_engagements[i] += 1;
+                    outcome.realized_revenue[i] += inst.ads[i].cpe;
+                    outcome.budget_left[i] -= inst.ads[i].cpe;
+                }
+            }
+        }
+        outcome.seeds_per_round.push(committed_this_round);
+        if committed_this_round == 0 {
+            break; // nothing left to do
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::Advertiser;
+    use crate::incentives::{IncentiveModel, SingletonMethod};
+    use rand::{rngs::SmallRng, SeedableRng};
+    use rm_diffusion::{TicModel, TopicDistribution};
+    use rm_graph::generators;
+    use std::sync::Arc;
+
+    fn instance(budget: f64) -> RmInstance {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = Arc::new(generators::barabasi_albert(300, 3, &mut rng));
+        let tic = TicModel::weighted_cascade(&g);
+        let ads = vec![
+            Advertiser::new(1.0, budget, TopicDistribution::uniform(1)),
+            Advertiser::new(1.0, budget, TopicDistribution::uniform(1)),
+        ];
+        RmInstance::build(
+            g,
+            &tic,
+            ads,
+            IncentiveModel::Linear { alpha: 0.2 },
+            SingletonMethod::RrEstimate { theta: 20_000 },
+            7,
+        )
+    }
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            rounds: 3,
+            seeds_per_round: 3,
+            engine: ScalableConfig {
+                epsilon: 0.3,
+                max_sets_per_ad: 200_000,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_respects_budgets_and_disjointness() {
+        let inst = instance(40.0);
+        let out = run_adaptive_campaign(&inst, AlgorithmKind::TiCsrm, cfg(), 11);
+        assert!(out.allocation.is_disjoint());
+        for i in 0..inst.num_ads() {
+            let spent = out.realized_revenue[i] + out.incentives_paid[i];
+            assert!(
+                spent <= inst.ads[i].budget + 1e-9,
+                "ad {i}: spent {spent} over budget"
+            );
+            assert!(out.budget_left[i] >= -1e-9);
+            // Accounting identity: spent + left = budget.
+            assert!((spent + out.budget_left[i] - inst.ads[i].budget).abs() < 1e-6);
+        }
+        assert!(out.total_revenue() > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance(40.0);
+        let a = run_adaptive_campaign(&inst, AlgorithmKind::TiCsrm, cfg(), 13);
+        let b = run_adaptive_campaign(&inst, AlgorithmKind::TiCsrm, cfg(), 13);
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.realized_engagements, b.realized_engagements);
+    }
+
+    #[test]
+    fn more_rounds_never_hurt() {
+        let inst = instance(60.0);
+        let short = AdaptiveConfig { rounds: 1, ..cfg() };
+        let long = AdaptiveConfig { rounds: 4, ..cfg() };
+        let r1 = run_adaptive_campaign(&inst, AlgorithmKind::TiCsrm, short, 17);
+        let r4 = run_adaptive_campaign(&inst, AlgorithmKind::TiCsrm, long, 17);
+        assert!(r4.allocation.num_seeds() >= r1.allocation.num_seeds());
+        assert!(r4.total_revenue() >= r1.total_revenue() * 0.99);
+    }
+
+    #[test]
+    fn exhausted_budget_stops_seeding() {
+        let inst = instance(3.0); // tiny budget: one or two cheap seeds max
+        let out = run_adaptive_campaign(&inst, AlgorithmKind::TiCsrm, cfg(), 19);
+        for i in 0..inst.num_ads() {
+            assert!(out.realized_revenue[i] + out.incentives_paid[i] <= 3.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Advertisers: CPE agreements, budgets and ad topic descriptions (§2's
+//! business model).
+
+use rm_diffusion::TopicDistribution;
+
+/// One advertiser `i` and its commercial agreement with the host:
+/// a cost-per-engagement `cpe(i)`, a campaign budget `B_i`, and the ad's
+/// topic distribution `γ_i` (the "ad description" the host maps into the
+/// latent topic space).
+#[derive(Clone, Debug)]
+pub struct Advertiser {
+    /// Cost-per-engagement `cpe(i)` the advertiser pays per click.
+    pub cpe: f64,
+    /// Campaign budget `B_i` capping the advertiser's total payment
+    /// `ρ_i(S_i) = cpe(i)·σ_i(S_i) + c_i(S_i)`.
+    pub budget: f64,
+    /// Topic distribution `γ_i` of the ad.
+    pub topic: TopicDistribution,
+}
+
+impl Advertiser {
+    /// Creates an advertiser, validating the commercial terms.
+    ///
+    /// # Panics
+    /// Panics on non-positive CPE or budget.
+    pub fn new(cpe: f64, budget: f64, topic: TopicDistribution) -> Self {
+        assert!(cpe > 0.0, "cpe must be positive");
+        assert!(budget > 0.0, "budget must be positive");
+        Advertiser { cpe, budget, topic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_with_valid_terms() {
+        let a = Advertiser::new(1.5, 10_000.0, TopicDistribution::uniform(10));
+        assert_eq!(a.cpe, 1.5);
+        assert_eq!(a.topic.num_topics(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_budget() {
+        let _ = Advertiser::new(1.0, 0.0, TopicDistribution::uniform(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_cpe() {
+        let _ = Advertiser::new(0.0, 1.0, TopicDistribution::uniform(1));
+    }
+}

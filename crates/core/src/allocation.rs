@@ -1,0 +1,177 @@
+//! Seed allocations and algorithm-independent evaluation.
+
+use rm_graph::NodeId;
+
+use crate::instance::RmInstance;
+
+/// An ads-to-seeds allocation `S⃗ = (S_1, …, S_h)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeedAllocation {
+    /// `seeds[i]` — seed users of advertiser `i`, in selection order.
+    pub seeds: Vec<Vec<NodeId>>,
+}
+
+impl SeedAllocation {
+    /// Empty allocation for `h` advertisers.
+    pub fn empty(h: usize) -> Self {
+        SeedAllocation { seeds: vec![Vec::new(); h] }
+    }
+
+    /// Total seed count.
+    pub fn num_seeds(&self) -> usize {
+        self.seeds.iter().map(Vec::len).sum()
+    }
+
+    /// Partition-matroid check: no user endorses two ads.
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.seeds.iter().flatten().all(|&u| seen.insert(u))
+    }
+}
+
+/// Evaluation backend for scoring a finished allocation.
+#[derive(Clone, Copy, Debug)]
+pub enum EvalMethod {
+    /// Fresh RR sample of `theta` sets per ad (fast, default).
+    RrSets {
+        /// Sets per ad.
+        theta: usize,
+    },
+    /// Monte-Carlo with `runs` cascades per ad (slower, unbiased reference).
+    MonteCarlo {
+        /// Cascades per ad.
+        runs: usize,
+    },
+}
+
+/// Per-ad and aggregate scores of an allocation.
+#[derive(Clone, Debug, Default)]
+pub struct EvalReport {
+    /// Expected spread per ad.
+    pub spread: Vec<f64>,
+    /// Revenue per ad: `π_i = cpe(i) · σ_i(S_i)`.
+    pub revenue: Vec<f64>,
+    /// Seeding (incentive) cost per ad.
+    pub seeding_cost: Vec<f64>,
+    /// Advertiser payment per ad: `ρ_i = π_i + c_i(S_i)`.
+    pub payment: Vec<f64>,
+}
+
+impl EvalReport {
+    /// Total host revenue `π(S⃗)`.
+    pub fn total_revenue(&self) -> f64 {
+        self.revenue.iter().sum()
+    }
+
+    /// Total seeding cost.
+    pub fn total_seeding_cost(&self) -> f64 {
+        self.seeding_cost.iter().sum()
+    }
+
+    /// Total advertiser payments.
+    pub fn total_payment(&self) -> f64 {
+        self.payment.iter().sum()
+    }
+}
+
+/// Scores `alloc` on `instance` with an estimator *independent* of whichever
+/// algorithm produced it (fresh sample streams derived from `seed`), so
+/// cross-algorithm revenue comparisons are unbiased.
+pub fn evaluate_allocation(
+    instance: &RmInstance,
+    alloc: &SeedAllocation,
+    method: EvalMethod,
+    seed: u64,
+) -> EvalReport {
+    assert_eq!(alloc.seeds.len(), instance.num_ads(), "allocation shape mismatch");
+    let h = instance.num_ads();
+    let mut report = EvalReport {
+        spread: vec![0.0; h],
+        revenue: vec![0.0; h],
+        seeding_cost: vec![0.0; h],
+        payment: vec![0.0; h],
+    };
+    for i in 0..h {
+        let seeds = &alloc.seeds[i];
+        let spread = if seeds.is_empty() {
+            0.0
+        } else {
+            match method {
+                EvalMethod::RrSets { theta } => rm_rrsets::rr_estimate_spread(
+                    &instance.graph,
+                    &instance.ad_probs[i],
+                    seeds,
+                    theta,
+                    seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
+                ),
+                EvalMethod::MonteCarlo { runs } => rm_diffusion::estimate_spread(
+                    &instance.graph,
+                    &instance.ad_probs[i],
+                    seeds,
+                    runs,
+                    seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
+                )
+                .spread,
+            }
+        };
+        let cost: f64 = seeds.iter().map(|&u| instance.incentives[i].cost(u)).sum();
+        report.spread[i] = spread;
+        report.revenue[i] = instance.ads[i].cpe * spread;
+        report.seeding_cost[i] = cost;
+        report.payment[i] = report.revenue[i] + cost;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::Advertiser;
+    use crate::incentives::{IncentiveModel, SingletonMethod};
+    use rm_diffusion::{TicModel, TopicDistribution};
+    use rm_graph::builder::graph_from_edges;
+    use std::sync::Arc;
+
+    fn instance() -> RmInstance {
+        let g = Arc::new(graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let tic = TicModel::uniform(&g, 1.0);
+        RmInstance::build(
+            g,
+            &tic,
+            vec![Advertiser::new(2.0, 100.0, TopicDistribution::uniform(1))],
+            IncentiveModel::Linear { alpha: 0.5 },
+            SingletonMethod::MonteCarlo { runs: 20 },
+            1,
+        )
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = SeedAllocation { seeds: vec![vec![0, 1], vec![2]] };
+        assert!(a.is_disjoint());
+        let b = SeedAllocation { seeds: vec![vec![0], vec![0]] };
+        assert!(!b.is_disjoint());
+    }
+
+    #[test]
+    fn evaluation_on_deterministic_chain() {
+        let inst = instance();
+        let alloc = SeedAllocation { seeds: vec![vec![0]] };
+        let mc = evaluate_allocation(&inst, &alloc, EvalMethod::MonteCarlo { runs: 50 }, 3);
+        // spread 4, cpe 2 → revenue 8; incentive 0.5·4 = 2 → payment 10.
+        assert!((mc.total_revenue() - 8.0).abs() < 1e-9);
+        assert!((mc.total_seeding_cost() - 2.0).abs() < 1e-9);
+        assert!((mc.total_payment() - 10.0).abs() < 1e-9);
+        let rr = evaluate_allocation(&inst, &alloc, EvalMethod::RrSets { theta: 20_000 }, 4);
+        assert!((rr.total_revenue() - 8.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_allocation_scores_zero() {
+        let inst = instance();
+        let alloc = SeedAllocation::empty(1);
+        let r = evaluate_allocation(&inst, &alloc, EvalMethod::RrSets { theta: 100 }, 9);
+        assert_eq!(r.total_revenue(), 0.0);
+        assert_eq!(r.total_payment(), 0.0);
+    }
+}

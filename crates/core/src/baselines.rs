@@ -1,0 +1,64 @@
+//! PageRank-based baselines (§5).
+//!
+//! `PageRank-GR` and `PageRank-RR` replace Algorithm 2's candidate selection
+//! with the ad-specific PageRank ordering of the nodes, keeping the budget
+//! bookkeeping and sample machinery identical; they are run through
+//! [`crate::TiEngine`] with the corresponding [`crate::AlgorithmKind`]. This
+//! module computes the per-ad orderings.
+
+use rm_graph::pagerank::pagerank_order;
+use rm_graph::{NodeId, PageRankConfig};
+
+use crate::instance::RmInstance;
+
+/// Ad-specific PageRank orderings (descending score). Ads sharing
+/// probability storage (single-topic models) share one ordering computation.
+pub fn pagerank_orders(inst: &RmInstance) -> Vec<Vec<NodeId>> {
+    let cfg = PageRankConfig::default();
+    let mut orders: Vec<Vec<NodeId>> = Vec::with_capacity(inst.num_ads());
+    for i in 0..inst.num_ads() {
+        if let Some(prev) = (0..i).find(|&j| inst.ad_probs[i].shares_storage(&inst.ad_probs[j])) {
+            orders.push(orders[prev].clone());
+            continue;
+        }
+        orders.push(pagerank_order(&inst.graph, cfg, Some(inst.ad_probs[i].as_slice())));
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::Advertiser;
+    use crate::incentives::{IncentiveModel, SingletonMethod};
+    use crate::instance::RmInstance;
+    use rm_diffusion::{TicModel, TopicDistribution};
+    use rm_graph::builder::graph_from_edges;
+    use std::sync::Arc;
+
+    #[test]
+    fn orders_are_permutations_and_hub_leads() {
+        // Star into node 0 plus chain; node 0 should rank first.
+        let g = Arc::new(graph_from_edges(
+            5,
+            &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)],
+        ));
+        let tic = TicModel::weighted_cascade(&g);
+        let mk = || Advertiser::new(1.0, 100.0, TopicDistribution::uniform(1));
+        let inst = RmInstance::build(
+            g,
+            &tic,
+            vec![mk(), mk()],
+            IncentiveModel::Linear { alpha: 0.1 },
+            SingletonMethod::OutDegree,
+            3,
+        );
+        let orders = pagerank_orders(&inst);
+        assert_eq!(orders.len(), 2);
+        assert_eq!(orders[0], orders[1], "shared probabilities share orders");
+        assert_eq!(orders[0][0], 0, "the in-star hub must rank first");
+        let mut sorted = orders[0].clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,232 @@
+//! Seed-user incentive models (§5's four schedules) and singleton-spread
+//! estimation methods behind them.
+//!
+//! The incentive of user `u` for ad `i` is a function of her demonstrated
+//! topical influence: `c_i(u) = f(σ_i({u}))`. The paper evaluates four
+//! choices of `f` controlled by a price level α:
+//!
+//! * **Linear**: `α · σ_i({u})`
+//! * **Constant**: `α · (Σ_v σ_i({v})) / n` (same for every user)
+//! * **Sublinear**: `α · ln(σ_i({u}))`
+//! * **Superlinear**: `α · σ_i({u})²`
+
+use rm_diffusion::AdProbs;
+use rm_graph::{CsrGraph, NodeId};
+
+/// How the per-node singleton spreads `σ_i({u})` are obtained.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SingletonMethod {
+    /// One RR sample of `theta` sets per ad; `σ({u}) = n·|{R ∋ u}|/θ`.
+    /// Unbiased and prices every node from a single sample — the default.
+    RrEstimate {
+        /// RR sets in the pricing sample.
+        theta: usize,
+    },
+    /// The paper's quality-experiment protocol: `runs` Monte-Carlo cascades
+    /// per node (the paper uses 5 000).
+    MonteCarlo {
+        /// Simulations per node.
+        runs: usize,
+    },
+    /// The paper's scalability-experiment protocol: out-degree proxy
+    /// (`σ_i({u}) ≈ outdeg(u) + 1`).
+    OutDegree,
+}
+
+impl SingletonMethod {
+    /// Computes `σ({u})` for every node under the given ad probabilities.
+    /// Deterministic in `seed`.
+    pub fn singleton_spreads(
+        &self,
+        g: &CsrGraph,
+        probs: &AdProbs,
+        seed: u64,
+    ) -> Vec<f64> {
+        match *self {
+            SingletonMethod::RrEstimate { theta } => {
+                rm_rrsets::rr_singleton_spreads(g, probs, theta, seed)
+            }
+            SingletonMethod::MonteCarlo { runs } => {
+                rm_diffusion::singleton_spreads_mc(g, probs, runs, seed)
+            }
+            SingletonMethod::OutDegree => (0..g.num_nodes() as NodeId)
+                .map(|u| g.out_degree(u) as f64 + 1.0)
+                .collect(),
+        }
+    }
+}
+
+/// The four incentive schedules, each scaled by the host-chosen price level
+/// `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IncentiveModel {
+    /// `c(u) = α · σ({u})`.
+    Linear {
+        /// Price level α.
+        alpha: f64,
+    },
+    /// `c(u) = α · mean_v σ({v})` — identical for every user, which nullifies
+    /// cost sensitivity (the paper's control condition).
+    Constant {
+        /// Price level α.
+        alpha: f64,
+    },
+    /// `c(u) = α · ln σ({u})` (spreads clamped to ≥ 1 so costs stay ≥ 0).
+    Sublinear {
+        /// Price level α.
+        alpha: f64,
+    },
+    /// `c(u) = α · σ({u})²`.
+    Superlinear {
+        /// Price level α.
+        alpha: f64,
+    },
+}
+
+impl IncentiveModel {
+    /// Builds the per-node incentive schedule from singleton spreads.
+    pub fn schedule(&self, sigma: &[f64]) -> IncentiveSchedule {
+        let n = sigma.len().max(1);
+        let costs: Vec<f64> = match *self {
+            IncentiveModel::Linear { alpha } => {
+                assert!(alpha > 0.0);
+                sigma.iter().map(|&s| alpha * s.max(1.0)).collect()
+            }
+            IncentiveModel::Constant { alpha } => {
+                assert!(alpha > 0.0);
+                let mean = sigma.iter().map(|&s| s.max(1.0)).sum::<f64>() / n as f64;
+                vec![alpha * mean; sigma.len()]
+            }
+            IncentiveModel::Sublinear { alpha } => {
+                assert!(alpha > 0.0);
+                sigma.iter().map(|&s| alpha * s.max(1.0).ln()).collect()
+            }
+            IncentiveModel::Superlinear { alpha } => {
+                assert!(alpha > 0.0);
+                sigma.iter().map(|&s| alpha * s.max(1.0) * s.max(1.0)).collect()
+            }
+        };
+        IncentiveSchedule::new(costs)
+    }
+
+    /// The α level (for reporting).
+    pub fn alpha(&self) -> f64 {
+        match *self {
+            IncentiveModel::Linear { alpha }
+            | IncentiveModel::Constant { alpha }
+            | IncentiveModel::Sublinear { alpha }
+            | IncentiveModel::Superlinear { alpha } => alpha,
+        }
+    }
+
+    /// Short name used by experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IncentiveModel::Linear { .. } => "linear",
+            IncentiveModel::Constant { .. } => "constant",
+            IncentiveModel::Sublinear { .. } => "sublinear",
+            IncentiveModel::Superlinear { .. } => "superlinear",
+        }
+    }
+}
+
+/// Per-node incentive costs for one ad, with cached aggregates.
+#[derive(Clone, Debug)]
+pub struct IncentiveSchedule {
+    costs: Vec<f64>,
+    cmax: f64,
+}
+
+impl IncentiveSchedule {
+    /// Wraps explicit per-node costs.
+    pub fn new(costs: Vec<f64>) -> Self {
+        assert!(costs.iter().all(|&c| c >= 0.0 && c.is_finite()), "costs must be finite, >= 0");
+        let cmax = costs.iter().copied().fold(0.0, f64::max);
+        IncentiveSchedule { costs, cmax }
+    }
+
+    /// Incentive `c_i(u)`.
+    #[inline]
+    pub fn cost(&self, u: NodeId) -> f64 {
+        self.costs[u as usize]
+    }
+
+    /// `c_i^max = max_v c_i(v)` — the Eq. 10 denominator term.
+    #[inline]
+    pub fn cmax(&self) -> f64 {
+        self.cmax
+    }
+
+    /// Number of nodes priced.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True when no nodes are priced.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Raw cost slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn linear_scales_spreads() {
+        let s = IncentiveModel::Linear { alpha: 0.5 }.schedule(&[4.0, 2.0, 1.0]);
+        assert_eq!(s.as_slice(), &[2.0, 1.0, 0.5]);
+        assert_eq!(s.cmax(), 2.0);
+    }
+
+    #[test]
+    fn constant_is_flat_at_mean() {
+        let s = IncentiveModel::Constant { alpha: 2.0 }.schedule(&[4.0, 2.0, 3.0]);
+        for u in 0..3 {
+            assert!((s.cost(u) - 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sublinear_compresses_and_superlinear_amplifies() {
+        let sigma = [1.0, 10.0, 100.0];
+        let sub = IncentiveModel::Sublinear { alpha: 1.0 }.schedule(&sigma);
+        let sup = IncentiveModel::Superlinear { alpha: 1.0 }.schedule(&sigma);
+        // Sublinear ratio between extremes << linear ratio << superlinear.
+        assert!(sub.cost(2) / sub.cost(1) < 10.0);
+        assert!(sup.cost(2) / sup.cost(1) > 10.0);
+        // ln(1) = 0: the weakest node costs nothing under sublinear.
+        assert_eq!(sub.cost(0), 0.0);
+    }
+
+    #[test]
+    fn spreads_below_one_clamped() {
+        let s = IncentiveModel::Linear { alpha: 1.0 }.schedule(&[0.2]);
+        assert_eq!(s.cost(0), 1.0);
+    }
+
+    #[test]
+    fn singleton_methods_agree_on_deterministic_chain() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let probs = AdProbs::from_vec(vec![1.0; 3]);
+        let rr = SingletonMethod::RrEstimate { theta: 30_000 }.singleton_spreads(&g, &probs, 1);
+        let mc = SingletonMethod::MonteCarlo { runs: 200 }.singleton_spreads(&g, &probs, 2);
+        for u in 0..4 {
+            assert!((rr[u] - mc[u]).abs() < 0.1, "node {u}: rr {} mc {}", rr[u], mc[u]);
+        }
+    }
+
+    #[test]
+    fn out_degree_proxy() {
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        let probs = AdProbs::from_vec(vec![1.0; 2]);
+        let d = SingletonMethod::OutDegree.singleton_spreads(&g, &probs, 0);
+        assert_eq!(d, vec![3.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! The full RM problem instance: graph + propagation model + advertisers +
+//! incentive schedules.
+
+use std::sync::Arc;
+
+use rm_diffusion::{AdProbs, TicModel};
+use rm_graph::CsrGraph;
+
+use crate::advertiser::Advertiser;
+use crate::incentives::{IncentiveModel, IncentiveSchedule, SingletonMethod};
+
+/// A complete instance of Problem 1 (REVENUE-MAXIMIZATION).
+///
+/// Construction flattens the TIC model into per-ad edge probabilities
+/// (Eq. 1) and prices every node's incentive for every ad from its singleton
+/// spread.
+#[derive(Clone)]
+pub struct RmInstance {
+    /// The social graph (arc `(u, v)`: `v` follows `u`).
+    pub graph: Arc<CsrGraph>,
+    /// The advertisers and their commercial terms.
+    pub ads: Vec<Advertiser>,
+    /// Flattened ad-specific edge probabilities, one per ad.
+    pub ad_probs: Vec<AdProbs>,
+    /// Per-ad incentive schedules `c_i(·)`.
+    pub incentives: Vec<IncentiveSchedule>,
+    /// Singleton spreads used for pricing (kept for diagnostics/reports).
+    pub singleton_spreads: Vec<Arc<Vec<f64>>>,
+}
+
+impl RmInstance {
+    /// Builds an instance from a TIC model: flattens per-ad probabilities,
+    /// estimates singleton spreads with `method`, prices incentives with
+    /// `model`. Deterministic in `seed`.
+    ///
+    /// Ads sharing a topic distribution share probability storage; under a
+    /// single-topic model (`L = 1`) the pricing sample is computed once and
+    /// shared by all ads.
+    pub fn build(
+        graph: Arc<CsrGraph>,
+        tic: &TicModel,
+        ads: Vec<Advertiser>,
+        model: IncentiveModel,
+        method: SingletonMethod,
+        seed: u64,
+    ) -> Self {
+        assert!(!ads.is_empty(), "need at least one advertiser");
+        assert!(
+            ads.iter().all(|a| a.topic.num_topics() == tic.num_topics()),
+            "ad topic dimension must match the TIC model"
+        );
+        let single_topic = tic.num_topics() == 1;
+        let mut ad_probs: Vec<AdProbs> = Vec::with_capacity(ads.len());
+        for (i, ad) in ads.iter().enumerate() {
+            // Ads with identical topic distributions (purely competing ads,
+            // or any ad under a single-topic model) share probability
+            // storage — the Eq. 1 mixture is the same vector.
+            let twin = (0..i).find(|&j| single_topic || ads[j].topic == ad.topic);
+            match twin {
+                Some(j) => ad_probs.push(ad_probs[j].clone()),
+                None => ad_probs.push(tic.ad_probs(&ad.topic)),
+            }
+        }
+
+        let mut singleton_spreads: Vec<Arc<Vec<f64>>> = Vec::with_capacity(ads.len());
+        for (i, probs) in ad_probs.iter().enumerate() {
+            match (0..i).find(|&j| probs.shares_storage(&ad_probs[j])) {
+                Some(j) => {
+                    let twin = singleton_spreads[j].clone();
+                    singleton_spreads.push(twin);
+                }
+                None => {
+                    let sigma = method
+                        .singleton_spreads(&graph, probs, seed ^ ((i as u64) << 40) ^ 0xA11C);
+                    singleton_spreads.push(Arc::new(sigma));
+                }
+            }
+        }
+
+        let incentives = singleton_spreads
+            .iter()
+            .map(|sigma| model.schedule(sigma))
+            .collect();
+
+        RmInstance { graph, ads, ad_probs, incentives, singleton_spreads }
+    }
+
+    /// Builds with explicit per-ad incentive schedules (tests, gadgets).
+    pub fn with_explicit_incentives(
+        graph: Arc<CsrGraph>,
+        ads: Vec<Advertiser>,
+        ad_probs: Vec<AdProbs>,
+        incentives: Vec<IncentiveSchedule>,
+    ) -> Self {
+        let h = ads.len();
+        assert!(h > 0 && ad_probs.len() == h && incentives.len() == h);
+        assert!(incentives.iter().all(|s| s.len() == graph.num_nodes()));
+        let singleton_spreads =
+            vec![Arc::new(vec![0.0; graph.num_nodes()]); h];
+        RmInstance { graph, ads, ad_probs, incentives, singleton_spreads }
+    }
+
+    /// Number of users `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of advertisers `h`.
+    pub fn num_ads(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// Converts a tiny instance into the exact combinatorial problem of
+    /// `rm-submod` (revenues tabulated by possible-world enumeration), so it
+    /// can be brute-force solved and checked against theory.
+    ///
+    /// # Panics
+    /// Panics if the graph is too large for enumeration (> 20 edges or > 16
+    /// nodes).
+    pub fn to_exact_problem(&self) -> rm_submod::RmProblem {
+        let n = self.num_nodes();
+        assert!(n <= 16 && self.graph.num_edges() <= 20, "exact conversion is for gadgets");
+        let revenue: Vec<rm_submod::problem::RevenueFn> = (0..self.num_ads())
+            .map(|i| {
+                let g = self.graph.clone();
+                let probs = self.ad_probs[i].clone();
+                let cpe = self.ads[i].cpe;
+                let table = rm_submod::function::TableFunction::tabulate(n, |mask| {
+                    if mask == 0 {
+                        return 0.0;
+                    }
+                    let seeds: Vec<rm_graph::NodeId> =
+                        (0..n as u32).filter(|&u| mask >> u & 1 == 1).collect();
+                    cpe * rm_diffusion::world::exact_spread_enumeration(&g, &probs, &seeds)
+                });
+                Box::new(table) as rm_submod::problem::RevenueFn
+            })
+            .collect();
+        let cost: Vec<Vec<f64>> = self
+            .incentives
+            .iter()
+            .map(|s| s.as_slice().to_vec())
+            .collect();
+        let budgets = self.ads.iter().map(|a| a.budget).collect();
+        rm_submod::RmProblem::new(revenue, cost, budgets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_diffusion::TopicDistribution;
+    use rm_graph::builder::graph_from_edges;
+
+    fn chain_instance() -> RmInstance {
+        let g = Arc::new(graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let tic = TicModel::uniform(&g, 1.0);
+        let ads = vec![
+            Advertiser::new(1.0, 100.0, TopicDistribution::uniform(1)),
+            Advertiser::new(2.0, 50.0, TopicDistribution::uniform(1)),
+        ];
+        RmInstance::build(
+            g,
+            &tic,
+            ads,
+            IncentiveModel::Linear { alpha: 0.1 },
+            SingletonMethod::MonteCarlo { runs: 50 },
+            7,
+        )
+    }
+
+    #[test]
+    fn pricing_follows_spreads() {
+        let inst = chain_instance();
+        // Chain with p=1: σ({0}) = 4 … σ({3}) = 1; linear α=0.1.
+        let s = &inst.incentives[0];
+        assert!((s.cost(0) - 0.4).abs() < 1e-9);
+        assert!((s.cost(3) - 0.1).abs() < 1e-9);
+        assert_eq!(s.cmax(), s.cost(0));
+    }
+
+    #[test]
+    fn single_topic_instances_share_probability_storage() {
+        let inst = chain_instance();
+        assert!(inst.ad_probs[0].shares_storage(&inst.ad_probs[1]));
+        assert!(Arc::ptr_eq(&inst.singleton_spreads[0], &inst.singleton_spreads[1]));
+    }
+
+    #[test]
+    fn exact_problem_round_trip() {
+        let inst = chain_instance();
+        let p = inst.to_exact_problem();
+        assert_eq!(p.num_ads(), 2);
+        // π_1({0}) = cpe 2 × spread 4 = 8.
+        let s = rm_submod::BitSet::from_iter(4, [0]);
+        assert!((p.revenue_of(1, &s) - 8.0).abs() < 1e-9);
+        // Payment adds the incentive.
+        assert!((p.payment_of(1, &s) - (8.0 + 0.4)).abs() < 1e-9);
+    }
+}

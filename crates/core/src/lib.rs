@@ -1,0 +1,41 @@
+//! # rm-core — revenue maximization in incentivized social advertising
+//!
+//! The paper's primary contribution, end to end:
+//!
+//! * **Problem model** (§2): advertisers with CPE pricing and budgets
+//!   ([`advertiser`]), incentive schedules priced from topical singleton
+//!   spreads ([`incentives`]), and the full instance type ([`instance`]).
+//! * **Exact reference algorithms** (§3): CA-GREEDY and CS-GREEDY over a
+//!   pluggable spread oracle ([`oracle`], [`greedy`]) — Monte-Carlo or exact
+//!   world-enumeration backed, usable on small graphs and gadgets.
+//! * **Scalable algorithms** (§4): TI-CARM and TI-CSRM ([`scalable`]) —
+//!   RR-set sampling, TIM sample sizes, latent seed-set-size estimation
+//!   (Eq. 10), windowed cost-sensitive selection, and Algorithm 3's
+//!   incremental estimate updates.
+//! * **Baselines** (§5): PageRank-GR and PageRank-RR ([`baselines`]).
+//! * **Evaluation utilities**: algorithm-independent re-scoring of
+//!   allocations ([`allocation`]), run statistics incl. memory accounting
+//!   ([`metrics`]), and the paper's Figure 1 tightness gadget
+//!   ([`instances`]).
+
+pub mod adaptive;
+pub mod advertiser;
+pub mod allocation;
+pub mod baselines;
+pub mod greedy;
+pub mod incentives;
+pub mod instance;
+pub mod instances;
+pub mod metrics;
+pub mod oracle;
+pub mod scalable;
+
+pub use adaptive::{run_adaptive_campaign, AdaptiveConfig, AdaptiveOutcome};
+pub use advertiser::Advertiser;
+pub use allocation::{evaluate_allocation, EvalMethod, EvalReport, SeedAllocation};
+pub use greedy::{exact_ca_greedy, exact_cs_greedy};
+pub use incentives::{IncentiveModel, IncentiveSchedule, SingletonMethod};
+pub use instance::RmInstance;
+pub use metrics::RunStats;
+pub use oracle::{ExactOracle, McOracle, SpreadOracle};
+pub use scalable::{AlgorithmKind, ScalableConfig, TiEngine, Window};

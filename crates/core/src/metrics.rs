@@ -1,0 +1,105 @@
+//! Run statistics collected by the scalable algorithms: the raw material of
+//! the paper's runtime (Fig. 4, Fig. 5) and memory (Table 3) results.
+
+use std::time::Duration;
+
+/// Statistics of one algorithm run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Greedy rounds executed (committed picks).
+    pub rounds: usize,
+    /// Seeds selected per ad.
+    pub seeds_per_ad: Vec<usize>,
+    /// Final θ (RR sets) per ad.
+    pub theta_per_ad: Vec<usize>,
+    /// Final latent seed-set-size estimate per ad.
+    pub latent_size_per_ad: Vec<usize>,
+    /// Internal revenue estimate per ad (the algorithm's own view;
+    /// use [`crate::evaluate_allocation`] for unbiased scoring).
+    pub revenue_per_ad: Vec<f64>,
+    /// Seeding (incentive) cost per ad.
+    pub seeding_cost_per_ad: Vec<f64>,
+    /// Estimated resident bytes of all RR coverage indexes at termination.
+    pub rr_memory_bytes: usize,
+    /// Total RR sets sampled across ads (including pilot/KPT sampling).
+    pub rr_sets_sampled: u64,
+    /// True if any ad hit the configured RR-set cap (estimates may be
+    /// degraded; reported, never silent).
+    pub sample_capped: bool,
+    /// Candidate evaluations performed (lazy-evaluation ablation metric).
+    pub candidate_evaluations: u64,
+}
+
+impl RunStats {
+    /// Total internal revenue estimate.
+    pub fn total_revenue(&self) -> f64 {
+        self.revenue_per_ad.iter().sum()
+    }
+
+    /// Total seeding cost.
+    pub fn total_seeding_cost(&self) -> f64 {
+        self.seeding_cost_per_ad.iter().sum()
+    }
+
+    /// Total seed count.
+    pub fn total_seeds(&self) -> usize {
+        self.seeds_per_ad.iter().sum()
+    }
+
+    /// Total θ across ads.
+    pub fn total_theta(&self) -> usize {
+        self.theta_per_ad.iter().sum()
+    }
+
+    /// Memory in GiB (Table 3's unit).
+    pub fn rr_memory_gib(&self) -> f64 {
+        self.rr_memory_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "revenue≈{:.1} cost={:.1} seeds={} θ={} mem={:.3}GiB rounds={} t={:.2}s{}",
+            self.total_revenue(),
+            self.total_seeding_cost(),
+            self.total_seeds(),
+            self.total_theta(),
+            self.rr_memory_gib(),
+            self.rounds,
+            self.elapsed.as_secs_f64(),
+            if self.sample_capped { " [CAPPED]" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_ad_values() {
+        let s = RunStats {
+            revenue_per_ad: vec![10.0, 5.0],
+            seeding_cost_per_ad: vec![1.0, 2.0],
+            seeds_per_ad: vec![3, 4],
+            theta_per_ad: vec![100, 200],
+            ..Default::default()
+        };
+        assert_eq!(s.total_revenue(), 15.0);
+        assert_eq!(s.total_seeding_cost(), 3.0);
+        assert_eq!(s.total_seeds(), 7);
+        assert_eq!(s.total_theta(), 300);
+    }
+
+    #[test]
+    fn display_marks_capped_runs() {
+        let mut s = RunStats::default();
+        assert!(!format!("{s}").contains("CAPPED"));
+        s.sample_capped = true;
+        assert!(format!("{s}").contains("CAPPED"));
+    }
+}

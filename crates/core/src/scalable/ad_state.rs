@@ -1,0 +1,64 @@
+//! Per-advertiser state of the scalable engine.
+
+use rm_diffusion::AdProbs;
+use rm_graph::NodeId;
+use rm_rrsets::{KptEstimator, LazyGreedyHeap, RrCoverage};
+
+/// Everything the engine tracks for one advertiser.
+pub(crate) struct AdState {
+    /// Ad index.
+    pub idx: usize,
+    /// Flattened edge probabilities of this ad.
+    pub probs: AdProbs,
+    /// Coverage index over the ad's RR sample.
+    pub cov: RrCoverage,
+    /// Current sample size θ_j.
+    pub theta: usize,
+    /// Latent seed-set-size estimate `s̃_j` (Eq. 10).
+    pub s_latent: usize,
+    /// KPT* estimator with cached pilot widths.
+    pub kpt: KptEstimator,
+    /// Committed seeds, in selection order.
+    pub seeds: Vec<NodeId>,
+    /// Membership mask of `seeds` (for Algorithm 3's arrival-coverage test).
+    pub is_seed: Vec<bool>,
+    /// Total incentives paid so far, `c_j(S_j)`.
+    pub cost_total: f64,
+    /// Lazy candidate heap (CA: coverage key; CS full: ratio key;
+    /// CS windowed: coverage key). Unused by the PageRank baselines.
+    pub heap: LazyGreedyHeap,
+    /// PageRank candidate order and cursor (baselines only).
+    pub pr_order: Vec<NodeId>,
+    pub pr_cursor: usize,
+    /// True when the ad can take no further candidates.
+    pub exhausted: bool,
+    /// Base seed of this ad's RR sampling stream.
+    pub sample_seed: u64,
+    /// RR sets sampled for this ad (including growth batches).
+    pub samples: u64,
+    /// True if the θ cap was hit.
+    pub capped: bool,
+}
+
+impl AdState {
+    /// Internal revenue estimate `π_j(S_j) = cpe · n · covered/θ`.
+    pub fn pi(&self, cpe: f64, n: usize) -> f64 {
+        if self.theta == 0 {
+            return 0.0;
+        }
+        cpe * n as f64 * self.cov.covered_total() as f64 / self.theta as f64
+    }
+
+    /// Marginal revenue of a candidate with `cov_v` uncovered sets.
+    pub fn delta_pi(&self, cpe: f64, n: usize, cov_v: u32) -> f64 {
+        if self.theta == 0 {
+            return 0.0;
+        }
+        cpe * n as f64 * cov_v as f64 / self.theta as f64
+    }
+
+    /// Current payment `ρ_j(S_j)`.
+    pub fn rho(&self, cpe: f64, n: usize) -> f64 {
+        self.pi(cpe, n) + self.cost_total
+    }
+}

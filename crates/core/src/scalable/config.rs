@@ -1,0 +1,106 @@
+//! Configuration of the scalable algorithms.
+
+/// Window size `w` of the cost-sensitive selection (Fig. 4's knob): each
+/// round, TI-CSRM inspects only the `w` nodes with the highest marginal
+/// revenue and picks the best ratio among them. `w = 1` degenerates to
+/// TI-CARM; `Full` inspects every node (the paper's default for quality
+/// experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// Inspect all candidate nodes (`w = n`).
+    Full,
+    /// Inspect the top-`w` nodes by marginal revenue.
+    Size(usize),
+}
+
+/// Which algorithm the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Cost-agnostic scalable greedy (Algorithm 2 with Alg. 4 selection).
+    TiCarm,
+    /// Cost-sensitive scalable greedy (Algorithm 2 with Alg. 5 selection).
+    TiCsrm,
+    /// Baseline: per-ad PageRank candidates, greedy (max marginal revenue)
+    /// assignment across ads.
+    PageRankGr,
+    /// Baseline: per-ad PageRank candidates, round-robin assignment.
+    PageRankRr,
+}
+
+impl AlgorithmKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::TiCarm => "TI-CARM",
+            AlgorithmKind::TiCsrm => "TI-CSRM",
+            AlgorithmKind::PageRankGr => "PageRank-GR",
+            AlgorithmKind::PageRankRr => "PageRank-RR",
+        }
+    }
+}
+
+/// Engine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalableConfig {
+    /// Estimation accuracy ε of Eq. 8 (paper: 0.1 quality / 0.3 scalability).
+    pub epsilon: f64,
+    /// Confidence exponent ℓ (failure probability `n^{-ℓ}`).
+    pub ell: f64,
+    /// Cost-sensitive selection window (TI-CSRM only).
+    pub window: Window,
+    /// `true` = Algorithm 2 line 16 semantics: stop the moment no
+    /// advertiser's *current* candidate is feasible. `false` = Algorithm 1
+    /// semantics: discard the infeasible pair and keep searching (ablation).
+    pub strict_termination: bool,
+    /// Safety cap on RR sets per ad. Hitting it is reported in
+    /// [`crate::RunStats::sample_capped`].
+    pub max_sets_per_ad: usize,
+    /// `true` = CELF-style lazy candidate heaps; `false` = eager full scans
+    /// every round (ablation baseline).
+    pub lazy: bool,
+    /// Master RNG seed; every run is deterministic given it.
+    pub seed: u64,
+}
+
+impl Default for ScalableConfig {
+    fn default() -> Self {
+        ScalableConfig {
+            epsilon: 0.1,
+            ell: 1.0,
+            window: Window::Full,
+            strict_termination: true,
+            max_sets_per_ad: 20_000_000,
+            lazy: true,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ScalableConfig {
+    /// The paper's scalability-experiment setting (ε = 0.3, w = 5000).
+    pub fn scalability() -> Self {
+        ScalableConfig { epsilon: 0.3, window: Window::Size(5000), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(AlgorithmKind::TiCsrm.name(), "TI-CSRM");
+        assert_eq!(AlgorithmKind::PageRankRr.name(), "PageRank-RR");
+    }
+
+    #[test]
+    fn defaults_follow_paper_quality_setting() {
+        let c = ScalableConfig::default();
+        assert_eq!(c.epsilon, 0.1);
+        assert_eq!(c.window, Window::Full);
+        assert!(c.strict_termination);
+        let s = ScalableConfig::scalability();
+        assert_eq!(s.epsilon, 0.3);
+        assert_eq!(s.window, Window::Size(5000));
+    }
+}

@@ -1,0 +1,518 @@
+//! The scalable greedy engine (Algorithm 2) shared by TI-CARM, TI-CSRM and
+//! the PageRank baselines.
+
+use std::time::Instant;
+
+use rm_graph::NodeId;
+use rm_rrsets::{sample_rr_batch, sample_size, KptEstimator, LazyGreedyHeap, RrCoverage, TimConfig};
+
+use crate::allocation::SeedAllocation;
+use crate::instance::RmInstance;
+use crate::metrics::RunStats;
+
+use super::ad_state::AdState;
+use super::config::{AlgorithmKind, ScalableConfig, Window};
+
+/// Floor on incentive costs when forming coverage-to-cost ratios, so
+/// zero-incentive nodes (possible under sublinear pricing) do not produce
+/// NaN/∞ keys.
+const COST_FLOOR: f64 = 1e-9;
+/// Budget-feasibility slack absorbing floating-point accumulation.
+const BUDGET_EPS: f64 = 1e-9;
+
+/// One round's candidate for an ad.
+struct Candidate {
+    v: NodeId,
+    cov: u32,
+    /// Window entries popped alongside the candidate, to be restored.
+    popped: Vec<(NodeId, f64)>,
+}
+
+/// The scalable algorithm engine. Construct once per run; [`TiEngine::run`]
+/// is deterministic in `config.seed`.
+pub struct TiEngine<'a> {
+    inst: &'a RmInstance,
+    kind: AlgorithmKind,
+    cfg: ScalableConfig,
+}
+
+impl<'a> TiEngine<'a> {
+    /// Binds an algorithm to an instance.
+    pub fn new(inst: &'a RmInstance, kind: AlgorithmKind, cfg: ScalableConfig) -> Self {
+        TiEngine { inst, kind, cfg }
+    }
+
+    /// Runs the algorithm to termination, returning the allocation and run
+    /// statistics.
+    pub fn run(&self) -> (SeedAllocation, RunStats) {
+        let start = Instant::now();
+        let n = self.inst.num_nodes();
+        let h = self.inst.num_ads();
+        let tim = TimConfig {
+            epsilon: self.cfg.epsilon,
+            ell: self.cfg.ell,
+            max_sets_per_ad: self.cfg.max_sets_per_ad,
+        };
+
+        let mut stats = RunStats::default();
+        let mut assigned = vec![false; n];
+        let mut ads = self.init_ads(&tim);
+        let mut rr_cursor = 0usize; // PageRank-RR advertiser rotation
+
+        loop {
+            // Lines 6–8: one candidate per active ad.
+            let mut candidates: Vec<Option<Candidate>> = Vec::with_capacity(h);
+            for st in ads.iter_mut() {
+                if st.exhausted {
+                    candidates.push(None);
+                    continue;
+                }
+                let cand = self.select_candidate(st, &assigned, &mut stats);
+                if cand.is_none() {
+                    st.exhausted = true;
+                }
+                candidates.push(cand);
+            }
+            if candidates.iter().all(Option::is_none) {
+                break;
+            }
+
+            // Line 9: global feasible argmax (or round-robin for PR-RR).
+            let winner = self.choose_winner(&ads, &candidates, rr_cursor, n);
+
+            match winner {
+                Some(i) => {
+                    if matches!(self.kind, AlgorithmKind::PageRankRr) {
+                        rr_cursor = (i + 1) % h;
+                    }
+                    // Commit (lines 10–14), restore everyone else's
+                    // candidates.
+                    let mut committed_v = 0;
+                    for (j, cand) in candidates.into_iter().enumerate() {
+                        let Some(cand) = cand else { continue };
+                        if j == i {
+                            committed_v = cand.v;
+                            self.restore(&mut ads[j], &cand, true);
+                        } else {
+                            self.restore(&mut ads[j], &cand, false);
+                        }
+                    }
+                    let st = &mut ads[i];
+                    assigned[committed_v as usize] = true;
+                    st.seeds.push(committed_v);
+                    st.is_seed[committed_v as usize] = true;
+                    st.cov.cover_with(committed_v);
+                    st.cost_total += self.inst.incentives[i].cost(committed_v);
+                    if matches!(
+                        self.kind,
+                        AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
+                    ) {
+                        st.pr_cursor += 1;
+                    }
+                    stats.rounds += 1;
+
+                    // Lines 17–22: latent seed-set-size update + sample growth.
+                    if st.seeds.len() >= st.s_latent {
+                        self.update_latent(st, &assigned, &tim, &mut stats);
+                    }
+                }
+                None => {
+                    // No feasible candidate anywhere this round.
+                    if self.cfg.strict_termination {
+                        // Alg. 2 line 16: all advertisers exhausted — return.
+                        break;
+                    }
+                    // Ablation semantics (Alg. 1): permanently discard the
+                    // infeasible candidates and keep going.
+                    for (j, cand) in candidates.into_iter().enumerate() {
+                        let Some(cand) = cand else { continue };
+                        if matches!(
+                            self.kind,
+                            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
+                        ) {
+                            ads[j].pr_cursor += 1;
+                        } else {
+                            // Restore window co-candidates; drop only the
+                            // candidate itself (it stays popped → discarded).
+                            for &(v, key) in &cand.popped {
+                                if v != cand.v {
+                                    ads[j].heap.push(v, key);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut alloc = SeedAllocation::empty(h);
+        stats.seeds_per_ad = vec![0; h];
+        stats.theta_per_ad = vec![0; h];
+        stats.latent_size_per_ad = vec![0; h];
+        stats.revenue_per_ad = vec![0.0; h];
+        stats.seeding_cost_per_ad = vec![0.0; h];
+        for (i, st) in ads.into_iter().enumerate() {
+            stats.seeds_per_ad[i] = st.seeds.len();
+            stats.theta_per_ad[i] = st.theta;
+            stats.latent_size_per_ad[i] = st.s_latent;
+            stats.revenue_per_ad[i] = st.pi(self.inst.ads[i].cpe, n);
+            stats.seeding_cost_per_ad[i] = st.cost_total;
+            stats.rr_memory_bytes += st.cov.memory_bytes();
+            stats.rr_sets_sampled += st.samples;
+            stats.sample_capped |= st.capped;
+            alloc.seeds[i] = st.seeds;
+        }
+        stats.elapsed = start.elapsed();
+        (alloc, stats)
+    }
+
+    /// Lines 1–4: pilot KPT estimation, initial θ and sample, heaps/orders.
+    fn init_ads(&self, tim: &TimConfig) -> Vec<AdState> {
+        let n = self.inst.num_nodes();
+        let g = &self.inst.graph;
+        let needs_pagerank =
+            matches!(self.kind, AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr);
+        let pr_orders: Vec<Vec<NodeId>> = if needs_pagerank {
+            crate::baselines::pagerank_orders(self.inst)
+        } else {
+            Vec::new()
+        };
+
+        let mut ads = Vec::with_capacity(self.inst.num_ads());
+        for j in 0..self.inst.num_ads() {
+            let probs = self.inst.ad_probs[j].clone();
+            let kpt = KptEstimator::estimate(
+                g,
+                &probs,
+                1,
+                tim,
+                self.cfg.seed ^ 0x4B50_7E57 ^ ((j as u64) << 16),
+            );
+            let s_latent = 1usize;
+            let theta = sample_size(n, s_latent, tim, kpt.opt_lower_bound(s_latent));
+            let capped = theta >= tim.max_sets_per_ad;
+            let sample_seed = self.cfg.seed ^ 0x5A3D_17 ^ ((j as u64) << 20);
+            let (sets, _) = sample_rr_batch(g, &probs, theta, sample_seed, 0);
+            let mut cov = RrCoverage::new(n);
+            cov.add_batch(&sets, &vec![false; n]);
+            let heap = self.build_heap(&cov, j, &vec![false; n]);
+            let st = AdState {
+                idx: j,
+                probs,
+                cov,
+                theta,
+                s_latent,
+                kpt,
+                seeds: Vec::new(),
+                is_seed: vec![false; n],
+                cost_total: 0.0,
+                heap,
+                pr_order: if needs_pagerank { pr_orders[j].clone() } else { Vec::new() },
+                pr_cursor: 0,
+                exhausted: false,
+                sample_seed,
+                samples: theta as u64,
+                capped,
+            };
+            ads.push(st);
+        }
+        ads
+    }
+
+    /// Builds (or rebuilds) an ad's candidate heap for the current sample.
+    fn build_heap(&self, cov: &RrCoverage, ad: usize, assigned: &[bool]) -> LazyGreedyHeap {
+        let n = self.inst.num_nodes();
+        match self.kind {
+            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => LazyGreedyHeap::default(),
+            AlgorithmKind::TiCarm => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
+                let c = cov.coverage(v);
+                (c > 0 && !assigned[v as usize]).then_some((v, c as f64))
+            })),
+            AlgorithmKind::TiCsrm => match self.cfg.window {
+                Window::Full => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
+                    let c = cov.coverage(v);
+                    if c == 0 || assigned[v as usize] {
+                        return None;
+                    }
+                    let cost = self.inst.incentives[ad].cost(v).max(COST_FLOOR);
+                    Some((v, c as f64 / cost))
+                })),
+                Window::Size(_) => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
+                    let c = cov.coverage(v);
+                    (c > 0 && !assigned[v as usize]).then_some((v, c as f64))
+                })),
+            },
+        }
+    }
+
+    /// Lines 7 (Alg. 4 / Alg. 5) or the baselines' PageRank cursor.
+    fn select_candidate(
+        &self,
+        st: &mut AdState,
+        assigned: &[bool],
+        stats: &mut RunStats,
+    ) -> Option<Candidate> {
+        match self.kind {
+            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => {
+                // Advance past assigned nodes permanently; stop at the first
+                // unassigned node without consuming it.
+                while st.pr_cursor < st.pr_order.len() {
+                    let v = st.pr_order[st.pr_cursor];
+                    if assigned[v as usize] {
+                        st.pr_cursor += 1;
+                        continue;
+                    }
+                    stats.candidate_evaluations += 1;
+                    return Some(Candidate { v, cov: st.cov.coverage(v), popped: Vec::new() });
+                }
+                None
+            }
+            AlgorithmKind::TiCarm => self.select_by_key(st, assigned, stats, KeyKind::Coverage),
+            AlgorithmKind::TiCsrm => match self.cfg.window {
+                Window::Full => self.select_by_key(st, assigned, stats, KeyKind::Ratio),
+                Window::Size(w) => self.select_windowed(st, assigned, stats, w.max(1)),
+            },
+        }
+    }
+
+    /// Single-candidate selection by the heap's own key (CA coverage, or CS
+    /// full-window ratio). Falls back to an eager scan when `lazy = false`.
+    fn select_by_key(
+        &self,
+        st: &mut AdState,
+        assigned: &[bool],
+        stats: &mut RunStats,
+        key: KeyKind,
+    ) -> Option<Candidate> {
+        let ad = st.idx;
+        if !self.cfg.lazy {
+            return self.select_eager(st, assigned, stats, key, 1);
+        }
+        let cov_ref = &st.cov;
+        let incent = &self.inst.incentives[ad];
+        let current = |v: NodeId| -> f64 {
+            let c = cov_ref.coverage(v) as f64;
+            match key {
+                KeyKind::Coverage => c,
+                _ => c / incent.cost(v).max(COST_FLOOR),
+            }
+        };
+        stats.candidate_evaluations += 1;
+        let (v, key_now) = st.heap.pop_valid(current, |v| assigned[v as usize])?;
+        Some(Candidate { v, cov: cov_ref.coverage(v), popped: vec![(v, key_now)] })
+    }
+
+    /// Windowed CS selection (Alg. 5 with window `w`): pop the top-`w` nodes
+    /// by coverage, pick the best coverage-to-cost ratio among them.
+    fn select_windowed(
+        &self,
+        st: &mut AdState,
+        assigned: &[bool],
+        stats: &mut RunStats,
+        w: usize,
+    ) -> Option<Candidate> {
+        let ad = st.idx;
+        if !self.cfg.lazy {
+            return self.select_eager(st, assigned, stats, KeyKind::WindowedRatio, w);
+        }
+        let cov_ref = &st.cov;
+        let mut popped: Vec<(NodeId, f64)> = Vec::with_capacity(w);
+        for _ in 0..w {
+            stats.candidate_evaluations += 1;
+            match st
+                .heap
+                .pop_valid(|v| cov_ref.coverage(v) as f64, |v| assigned[v as usize])
+            {
+                Some((v, key_now)) => popped.push((v, key_now)),
+                None => break,
+            }
+        }
+        if popped.is_empty() {
+            return None;
+        }
+        let incent = &self.inst.incentives[ad];
+        let best = popped
+            .iter()
+            .map(|&(v, cov)| (v, cov, cov / incent.cost(v).max(COST_FLOOR)))
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(v, cov, _)| (v, cov as u32))?;
+        Some(Candidate { v: best.0, cov: best.1, popped })
+    }
+
+    /// Eager (non-lazy) scan over every unassigned node — the ablation
+    /// baseline quantifying what CELF-style laziness saves.
+    fn select_eager(
+        &self,
+        st: &mut AdState,
+        assigned: &[bool],
+        stats: &mut RunStats,
+        key: KeyKind,
+        w: usize,
+    ) -> Option<Candidate> {
+        let n = self.inst.num_nodes();
+        let ad = st.idx;
+        let incent = &self.inst.incentives[ad];
+        stats.candidate_evaluations += n as u64;
+        match key {
+            KeyKind::Coverage | KeyKind::Ratio => {
+                let mut best: Option<(NodeId, u32, f64)> = None;
+                for v in 0..n as NodeId {
+                    if assigned[v as usize] {
+                        continue;
+                    }
+                    let c = st.cov.coverage(v);
+                    if c == 0 {
+                        continue;
+                    }
+                    let k = match key {
+                        KeyKind::Coverage => c as f64,
+                        _ => c as f64 / incent.cost(v).max(COST_FLOOR),
+                    };
+                    if best.is_none_or(|(_, _, bk)| k > bk) {
+                        best = Some((v, c, k));
+                    }
+                }
+                best.map(|(v, cov, _)| Candidate { v, cov, popped: Vec::new() })
+            }
+            KeyKind::WindowedRatio => {
+                // Top-w by coverage, then best ratio among them.
+                let mut top: Vec<(NodeId, u32)> = (0..n as NodeId)
+                    .filter(|&v| !assigned[v as usize] && st.cov.coverage(v) > 0)
+                    .map(|v| (v, st.cov.coverage(v)))
+                    .collect();
+                if top.is_empty() {
+                    return None;
+                }
+                let w = w.min(top.len());
+                top.select_nth_unstable_by(w - 1, |a, b| b.1.cmp(&a.1));
+                top.truncate(w);
+                top.into_iter()
+                    .map(|(v, c)| (v, c, c as f64 / incent.cost(v).max(COST_FLOOR)))
+                    .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(v, cov, _)| Candidate { v, cov, popped: Vec::new() })
+            }
+        }
+    }
+
+    /// Returns popped window entries to the heap, excluding the committed
+    /// node when `committed` is true (its coverage has just changed anyway).
+    fn restore(&self, st: &mut AdState, cand: &Candidate, committed: bool) {
+        for &(v, key) in &cand.popped {
+            if committed && v == cand.v {
+                continue;
+            }
+            st.heap.push(v, key);
+        }
+    }
+
+    /// Line 9's global choice. Returns the winning ad index.
+    fn choose_winner(
+        &self,
+        ads: &[AdState],
+        candidates: &[Option<Candidate>],
+        rr_cursor: usize,
+        n: usize,
+    ) -> Option<usize> {
+        let h = ads.len();
+        let feasible = |j: usize, cand: &Candidate| -> Option<(f64, f64)> {
+            let ad = &self.inst.ads[j];
+            let d_pi = ads[j].delta_pi(ad.cpe, n, cand.cov);
+            let d_rho = d_pi + self.inst.incentives[j].cost(cand.v);
+            let rho_now = ads[j].rho(ad.cpe, n);
+            (rho_now + d_rho <= ad.budget + BUDGET_EPS).then_some((d_pi, d_rho))
+        };
+        match self.kind {
+            AlgorithmKind::PageRankRr => {
+                for off in 0..h {
+                    let j = (rr_cursor + off) % h;
+                    if let Some(cand) = &candidates[j] {
+                        if feasible(j, cand).is_some() {
+                            return Some(j);
+                        }
+                    }
+                }
+                None
+            }
+            AlgorithmKind::TiCarm | AlgorithmKind::PageRankGr => {
+                let mut best: Option<(usize, f64)> = None;
+                for (j, cand) in candidates.iter().enumerate() {
+                    let Some(cand) = cand else { continue };
+                    if let Some((d_pi, _)) = feasible(j, cand) {
+                        if best.is_none_or(|(_, s)| d_pi > s) {
+                            best = Some((j, d_pi));
+                        }
+                    }
+                }
+                best.map(|(j, _)| j)
+            }
+            AlgorithmKind::TiCsrm => {
+                let mut best: Option<(usize, f64)> = None;
+                for (j, cand) in candidates.iter().enumerate() {
+                    let Some(cand) = cand else { continue };
+                    if let Some((d_pi, d_rho)) = feasible(j, cand) {
+                        let ratio = if d_rho <= 0.0 { 0.0 } else { d_pi / d_rho };
+                        if best.is_none_or(|(_, s)| ratio > s) {
+                            best = Some((j, ratio));
+                        }
+                    }
+                }
+                best.map(|(j, _)| j)
+            }
+        }
+    }
+
+    /// Lines 17–22: Eq. 10 latent-size update, sample growth, Algorithm 3
+    /// estimate refresh, heap rebuild.
+    fn update_latent(
+        &self,
+        st: &mut AdState,
+        assigned: &[bool],
+        tim: &TimConfig,
+        stats: &mut RunStats,
+    ) {
+        let n = self.inst.num_nodes();
+        let ad = &self.inst.ads[st.idx];
+        let rho = st.rho(ad.cpe, n);
+        let headroom = ad.budget - rho;
+        let mut s_new = st.s_latent.max(st.seeds.len());
+        if headroom > 0.0 && st.theta > 0 {
+            let fmax = st.cov.max_coverage(|v| assigned[v as usize]) as f64 / st.theta as f64;
+            let denom = self.inst.incentives[st.idx].cmax() + ad.cpe * n as f64 * fmax;
+            if denom > 0.0 {
+                s_new += (headroom / denom).floor() as usize;
+            }
+        }
+        if s_new <= st.s_latent && st.seeds.len() < st.s_latent {
+            return;
+        }
+        st.s_latent = s_new.max(st.s_latent);
+        let opt = st.kpt.opt_lower_bound(st.s_latent);
+        let theta_new = sample_size(n, st.s_latent, tim, opt).max(st.theta);
+        if theta_new >= tim.max_sets_per_ad {
+            st.capped = true;
+        }
+        if theta_new > st.theta {
+            let (sets, _) = sample_rr_batch(
+                &self.inst.graph,
+                &st.probs,
+                theta_new - st.theta,
+                st.sample_seed,
+                st.theta as u64,
+            );
+            st.cov.add_batch(&sets, &st.is_seed);
+            st.samples += (theta_new - st.theta) as u64;
+            st.theta = theta_new;
+            // Coverage counts grew: lazy-heap invariant (keys only decrease)
+            // is broken, rebuild from scratch.
+            st.heap = self.build_heap(&st.cov, st.idx, assigned);
+            stats.candidate_evaluations += n as u64;
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum KeyKind {
+    Coverage,
+    Ratio,
+    WindowedRatio,
+}

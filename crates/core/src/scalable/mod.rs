@@ -1,0 +1,25 @@
+//! Scalable RM algorithms: TI-CARM, TI-CSRM (Algorithm 2) and the
+//! PageRank-seeded baselines run through the same estimation machinery.
+//!
+//! The engine follows the paper's pseudocode:
+//!
+//! 1. per ad: KPT* pilot estimation, initial latent size `s_j = 1`,
+//!    θ_j = `L(s_j, ε)` RR sets (Alg. 2 lines 1–4);
+//! 2. each round: a candidate per ad (`SelectBestCANode` /
+//!    `SelectBestCSNode` — Alg. 4/5 — or the baselines' PageRank cursors),
+//!    then the global feasible argmax of marginal revenue (CA) or marginal
+//!    revenue per marginal payment (CS) commits one (node, ad) pair
+//!    (lines 6–16);
+//! 3. whenever an ad's seed count reaches its latent size estimate, Eq. 10
+//!    revises the estimate, the sample grows to the new `L(s, ε)`, and
+//!    estimates are refreshed over the enlarged sample (Alg. 3, lines 17–22).
+
+mod ad_state;
+mod config;
+mod engine;
+
+#[cfg(test)]
+mod tests;
+
+pub use config::{AlgorithmKind, ScalableConfig, Window};
+pub use engine::TiEngine;

@@ -1,0 +1,216 @@
+//! Linear Threshold (LT) propagation — an extension beyond the paper.
+//!
+//! The paper's framework only requires the spread function to be monotone
+//! and submodular; Kempe et al. prove LT satisfies both, so every RM
+//! algorithm in this workspace applies unchanged if engagements propagate by
+//! thresholds rather than independent coin flips. This module provides the
+//! forward simulator and the LT live-edge ("one incoming edge per node")
+//! sampler, which makes the same RR-set machinery valid under LT.
+
+use rand::Rng;
+
+use rm_graph::{CsrGraph, NodeId};
+
+use crate::cascade::CascadeWorkspace;
+use crate::tic::AdProbs;
+
+/// Validates LT weight feasibility: for every node, incoming weights must
+/// sum to at most 1 (weights are read from the per-edge array, so the
+/// Weighted-Cascade construction `1/indeg(v)` is exactly LT-feasible).
+pub fn lt_weights_feasible(g: &CsrGraph, weights: &AdProbs) -> bool {
+    (0..g.num_nodes() as NodeId).all(|v| {
+        let total: f64 = g.in_edges(v).map(|(e, _)| weights.get(e) as f64).sum();
+        total <= 1.0 + 1e-6
+    })
+}
+
+/// One LT cascade: every node draws a uniform threshold; a node activates
+/// when the weight sum of its active in-neighbours reaches its threshold.
+/// Returns the number of active nodes (seeds included).
+pub fn simulate_lt_cascade<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    weights: &AdProbs,
+    seeds: &[NodeId],
+    ws: &mut CascadeWorkspace,
+    rng: &mut R,
+) -> usize {
+    let n = g.num_nodes();
+    // Thresholds are sampled lazily: a node's threshold is fixed at first
+    // exposure, stored in `pressure` as (threshold - accumulated weight).
+    let mut remaining: Vec<f32> = vec![f32::NAN; n];
+    let _ = ws; // workspace kept for signature symmetry with IC
+    let mut active = vec![false; n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !active[s as usize] {
+            active[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let u = queue[qi];
+        qi += 1;
+        for (eid, v) in g.out_edges(u) {
+            if active[v as usize] {
+                continue;
+            }
+            let slot = &mut remaining[v as usize];
+            if slot.is_nan() {
+                *slot = rng.random::<f32>();
+            }
+            *slot -= weights.get(eid);
+            if *slot <= 0.0 {
+                active[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    queue.len()
+}
+
+/// Estimates the LT expected spread with `runs` simulations.
+pub fn estimate_lt_spread(
+    g: &CsrGraph,
+    weights: &AdProbs,
+    seeds: &[NodeId],
+    runs: usize,
+    seed: u64,
+) -> f64 {
+    use rand::SeedableRng;
+    if seeds.is_empty() || runs == 0 {
+        return 0.0;
+    }
+    let mut ws = CascadeWorkspace::new(g.num_nodes());
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    for _ in 0..runs {
+        total += simulate_lt_cascade(g, weights, seeds, &mut ws, &mut rng);
+    }
+    total as f64 / runs as f64
+}
+
+/// Samples one LT reverse-reachable set: walking backwards, each node picks
+/// **at most one** incoming edge (edge `e` with probability `w_e`, no edge
+/// with probability `1 − Σ w`), per Kempe et al.'s live-edge model for LT.
+pub fn sample_lt_rr_set<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    weights: &AdProbs,
+    rng: &mut R,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    let n = g.num_nodes();
+    if n == 0 {
+        return;
+    }
+    let root = rng.random_range(0..n) as NodeId;
+    out.push(root);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(root);
+    let mut cur = root;
+    loop {
+        // Pick at most one in-edge of `cur` with probability proportional to
+        // its weight (residual mass = stop).
+        let mut x: f64 = rng.random();
+        let mut picked: Option<NodeId> = None;
+        for (eid, u) in g.in_edges(cur) {
+            x -= weights.get(eid) as f64;
+            if x < 0.0 {
+                picked = Some(u);
+                break;
+            }
+        }
+        match picked {
+            Some(u) if !seen.contains(&u) => {
+                seen.insert(u);
+                out.push(u);
+                cur = u;
+            }
+            _ => break, // stopped, or walked into a cycle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use rm_graph::builder::graph_from_edges;
+    use rm_diffusion_test_helpers::*;
+
+    mod rm_diffusion_test_helpers {
+        pub use crate::tic::TicModel;
+        pub use crate::topic::TopicDistribution;
+    }
+
+    #[test]
+    fn wc_weights_are_lt_feasible() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 1), (3, 1), (1, 4), (0, 4)]);
+        let w = TicModel::weighted_cascade(&g).ad_probs(&TopicDistribution::uniform(1));
+        assert!(lt_weights_feasible(&g, &w));
+    }
+
+    #[test]
+    fn full_weight_chain_always_activates() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let w = AdProbs::from_vec(vec![1.0; 3]);
+        let spread = estimate_lt_spread(&g, &w, &[0], 200, 3);
+        assert!((spread - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lt_two_parents_probability() {
+        // v has two in-edges with weight 0.5 each. With one active parent,
+        // P(v active) = 0.5 (threshold uniform). Seeds = {0}.
+        let g = graph_from_edges(3, &[(0, 2), (1, 2)]);
+        let w = AdProbs::from_vec(vec![0.5, 0.5]);
+        let spread = estimate_lt_spread(&g, &w, &[0], 60_000, 7);
+        assert!((spread - 1.5).abs() < 0.02, "spread {spread}");
+        // Both parents active: v activates surely.
+        let spread2 = estimate_lt_spread(&g, &w, &[0, 1], 5_000, 8);
+        assert!((spread2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lt_rr_sets_estimate_singleton_spread() {
+        // σ_LT({u}) = n · Pr[u ∈ RR]. Chain with weight 1.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let w = AdProbs::from_vec(vec![1.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let theta = 30_000;
+        let mut hits0 = 0;
+        let mut out = Vec::new();
+        for _ in 0..theta {
+            sample_lt_rr_set(&g, &w, &mut rng, &mut out);
+            if out.contains(&0) {
+                hits0 += 1;
+            }
+        }
+        let est = 3.0 * hits0 as f64 / theta as f64;
+        assert!((est - 3.0).abs() < 0.05, "est {est}");
+    }
+
+    #[test]
+    fn lt_rr_matches_forward_simulation() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 1), (1, 3), (0, 3)]);
+        let w = AdProbs::from_vec(vec![0.4, 0.4, 0.3, 0.3]);
+        assert!(lt_weights_feasible(&g, &w));
+        let forward = estimate_lt_spread(&g, &w, &[0], 80_000, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let theta = 80_000;
+        let mut hits = 0;
+        let mut out = Vec::new();
+        for _ in 0..theta {
+            sample_lt_rr_set(&g, &w, &mut rng, &mut out);
+            if out.contains(&0) {
+                hits += 1;
+            }
+        }
+        let reverse = 4.0 * hits as f64 / theta as f64;
+        assert!(
+            (forward - reverse).abs() < 0.05,
+            "forward {forward} vs reverse {reverse}"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Monte-Carlo expected-spread estimation, sequential and parallel.
+//!
+//! `σ_i(S)` is the expected cascade size from seed set `S` under the
+//! ad-specific probabilities. The paper uses 5K-run MC estimates of the
+//! singleton spreads `σ_i({u})` to price seed incentives on its quality
+//! datasets; [`singleton_spreads_mc`] reproduces that computation with the
+//! work spread across threads.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rm_graph::{CsrGraph, NodeId};
+
+use crate::cascade::{simulate_cascade, CascadeWorkspace};
+use crate::tic::AdProbs;
+
+/// A spread estimate with its sampling metadata.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpreadEstimate {
+    /// Estimated expected spread.
+    pub spread: f64,
+    /// Number of Monte-Carlo runs behind the estimate.
+    pub runs: usize,
+}
+
+/// Estimates `σ(S)` with `runs` Monte-Carlo simulations, split across
+/// available threads. Deterministic in `seed` (per-thread RNG streams are
+/// derived from it) regardless of thread scheduling.
+pub fn estimate_spread(
+    g: &CsrGraph,
+    probs: &AdProbs,
+    seeds: &[NodeId],
+    runs: usize,
+    seed: u64,
+) -> SpreadEstimate {
+    if seeds.is_empty() || runs == 0 {
+        return SpreadEstimate { spread: 0.0, runs };
+    }
+    let threads = num_threads(runs);
+    if threads <= 1 {
+        let mut ws = CascadeWorkspace::new(g.num_nodes());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut total = 0usize;
+        for _ in 0..runs {
+            total += simulate_cascade(g, probs, seeds, &mut ws, &mut rng);
+        }
+        return SpreadEstimate { spread: total as f64 / runs as f64, runs };
+    }
+
+    let per = runs / threads;
+    let extra = runs % threads;
+    let mut totals = vec![0u64; threads];
+    crossbeam::thread::scope(|scope| {
+        for (tid, slot) in totals.iter_mut().enumerate() {
+            let my_runs = per + usize::from(tid < extra);
+            scope.spawn(move |_| {
+                let mut ws = CascadeWorkspace::new(g.num_nodes());
+                let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut total = 0u64;
+                for _ in 0..my_runs {
+                    total += simulate_cascade(g, probs, seeds, &mut ws, &mut rng) as u64;
+                }
+                *slot = total;
+            });
+        }
+    })
+    .expect("spread-estimation worker panicked");
+    let total: u64 = totals.iter().sum();
+    SpreadEstimate { spread: total as f64 / runs as f64, runs }
+}
+
+/// Estimates the singleton spread `σ({u})` of **every** node with `runs` MC
+/// simulations each, parallelized over node ranges. This is the incentive
+/// pricing input: `c_i(u) = f(σ_i({u}))`.
+pub fn singleton_spreads_mc(g: &CsrGraph, probs: &AdProbs, runs: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = num_threads(n);
+    let chunk = n.div_ceil(threads);
+    let mut out = vec![0.0f64; n];
+    crossbeam::thread::scope(|scope| {
+        for (tid, slice) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                let lo = tid * chunk;
+                let mut ws = CascadeWorkspace::new(g.num_nodes());
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    let u = (lo + off) as NodeId;
+                    let mut total = 0usize;
+                    for _ in 0..runs {
+                        total += simulate_cascade(g, probs, &[u], &mut ws, &mut rng);
+                    }
+                    *slot = total as f64 / runs as f64;
+                }
+            });
+        }
+    })
+    .expect("singleton-spread worker panicked");
+    out
+}
+
+fn num_threads(work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    hw.min(work_items.max(1)).min(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn deterministic_chain_has_exact_spread() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let probs = AdProbs::from_vec(vec![1.0; 4]);
+        let est = estimate_spread(&g, &probs, &[0], 200, 42);
+        assert!((est.spread - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_hop_probability_math() {
+        // 0 -p-> 1 -q-> 2: E[spread({0})] = 1 + p + p*q.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let (p, q) = (0.6f64, 0.3f64);
+        let probs = AdProbs::from_vec(vec![p as f32, q as f32]);
+        let est = estimate_spread(&g, &probs, &[0], 60_000, 7);
+        let expect = 1.0 + p + p * q;
+        assert!(
+            (est.spread - expect).abs() < 0.03,
+            "expected {expect}, got {}",
+            est.spread
+        );
+    }
+
+    #[test]
+    fn spread_bounded_by_seed_count_and_n() {
+        let g = graph_from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let probs = AdProbs::from_vec(vec![0.5; 3]);
+        let est = estimate_spread(&g, &probs, &[0, 2], 500, 3);
+        assert!(est.spread >= 2.0 && est.spread <= 6.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3)]);
+        let probs = AdProbs::from_vec(vec![0.5; 3]);
+        let a = estimate_spread(&g, &probs, &[0], 1000, 11);
+        let b = estimate_spread(&g, &probs, &[0], 1000, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn singleton_spreads_shape_and_bounds() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let probs = AdProbs::from_vec(vec![1.0; 3]);
+        let s = singleton_spreads_mc(&g, &probs, 50, 5);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s, vec![4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_zero() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let probs = AdProbs::from_vec(vec![1.0]);
+        assert_eq!(estimate_spread(&g, &probs, &[], 100, 1).spread, 0.0);
+    }
+}

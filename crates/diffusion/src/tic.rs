@@ -1,0 +1,290 @@
+//! The Topic-aware Independent Cascade model and ad-specific probability
+//! flattening (Eq. 1).
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use rm_graph::{CsrGraph, NodeId};
+
+use crate::topic::TopicDistribution;
+
+/// Per-edge, per-topic influence probabilities: `p^z_{u,v}` stored edge-major
+/// (`probs[eid * L + z]`), indexed by canonical edge id.
+#[derive(Clone, Debug)]
+pub struct TicModel {
+    l: usize,
+    probs: Vec<f32>,
+}
+
+/// Configuration for the synthetic topical probability assignment used by the
+/// Flixster-like dataset (see `DESIGN.md → Substitutions`).
+#[derive(Clone, Copy, Debug)]
+pub struct TopicalConfig {
+    /// Fraction of the edge's base strength put on its dominant topic.
+    pub dominant_weight: f32,
+    /// Base strength multiplier applied to the Weighted-Cascade prior
+    /// `1/indeg(v)`.
+    pub strength: f32,
+}
+
+impl Default for TopicalConfig {
+    fn default() -> Self {
+        TopicalConfig { dominant_weight: 0.9, strength: 1.0 }
+    }
+}
+
+impl TicModel {
+    /// Builds from a raw edge-major probability matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix shape does not match the graph or any probability
+    /// is outside `[0, 1]`.
+    pub fn from_matrix(g: &CsrGraph, l: usize, probs: Vec<f32>) -> Self {
+        assert!(l > 0);
+        assert_eq!(probs.len(), g.num_edges() * l, "probability matrix shape mismatch");
+        assert!(
+            probs.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "probabilities must lie in [0,1]"
+        );
+        TicModel { l, probs }
+    }
+
+    /// Single-topic model with a uniform probability `p` on every edge.
+    pub fn uniform(g: &CsrGraph, p: f32) -> Self {
+        Self::from_matrix(g, 1, vec![p; g.num_edges()])
+    }
+
+    /// Single-topic **Weighted Cascade** model (Kempe et al.):
+    /// `p_{u,v} = 1 / indeg(v)`. This is the model the paper uses for
+    /// Epinions, DBLP and LiveJournal.
+    pub fn weighted_cascade(g: &CsrGraph) -> Self {
+        let mut probs = vec![0.0f32; g.num_edges()];
+        for v in 0..g.num_nodes() as NodeId {
+            let indeg = g.in_degree(v);
+            if indeg == 0 {
+                continue;
+            }
+            let p = 1.0 / indeg as f32;
+            for (eid, _) in g.in_edges(v) {
+                probs[eid as usize] = p;
+            }
+        }
+        TicModel { l: 1, probs }
+    }
+
+    /// Single-topic **trivalency** model: each edge uniformly one of
+    /// {0.1, 0.01, 0.001}.
+    pub fn trivalency<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Self {
+        const LEVELS: [f32; 3] = [0.1, 0.01, 0.001];
+        let probs = (0..g.num_edges()).map(|_| LEVELS[rng.random_range(0..3)]).collect();
+        TicModel { l: 1, probs }
+    }
+
+    /// Multi-topic synthetic model: every edge gets a uniformly random
+    /// dominant topic carrying `dominant_weight` of its base strength (the
+    /// Weighted-Cascade prior `strength / indeg(v)`, clamped to 1), with the
+    /// remainder spread over the other topics. Ads peaked on an edge's
+    /// dominant topic therefore see near-WC probabilities on it while
+    /// off-topic ads see only the residue — mimicking learned TIC models
+    /// where influence is strongly topic-localized.
+    pub fn topical<R: Rng + ?Sized>(
+        g: &CsrGraph,
+        l: usize,
+        cfg: TopicalConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(l >= 1);
+        let m = g.num_edges();
+        let mut probs = vec![0.0f32; m * l];
+        for v in 0..g.num_nodes() as NodeId {
+            let indeg = g.in_degree(v);
+            if indeg == 0 {
+                continue;
+            }
+            let base = (cfg.strength / indeg as f32).min(1.0);
+            for (eid, _) in g.in_edges(v) {
+                let z = rng.random_range(0..l);
+                let row = &mut probs[eid as usize * l..(eid as usize + 1) * l];
+                if l == 1 {
+                    row[0] = base;
+                } else {
+                    let rest = base * (1.0 - cfg.dominant_weight) / (l - 1) as f32;
+                    row.fill(rest);
+                    row[z] = base * cfg.dominant_weight;
+                }
+            }
+        }
+        TicModel { l, probs }
+    }
+
+    /// Number of latent topics `L`.
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.l
+    }
+
+    /// `p^z_{u,v}` for a given canonical edge id.
+    #[inline]
+    pub fn topic_prob(&self, eid: u32, z: usize) -> f32 {
+        self.probs[eid as usize * self.l + z]
+    }
+
+    /// Flattens the model for one ad (Eq. 1):
+    /// `p^i_{u,v} = Σ_z γ^z_i · p^z_{u,v}`, producing a dense per-edge
+    /// probability array consumed by the cascade simulator and RR sampler.
+    pub fn ad_probs(&self, gamma: &TopicDistribution) -> AdProbs {
+        assert_eq!(gamma.num_topics(), self.l, "ad topic count mismatch");
+        let m = self.probs.len() / self.l.max(1);
+        let mut out = vec![0.0f32; m];
+        if self.l == 1 {
+            out.copy_from_slice(&self.probs);
+        } else {
+            let w = gamma.weights();
+            for (e, slot) in out.iter_mut().enumerate() {
+                let row = &self.probs[e * self.l..(e + 1) * self.l];
+                let mut acc = 0.0f32;
+                for z in 0..self.l {
+                    acc += w[z] * row[z];
+                }
+                *slot = acc.min(1.0);
+            }
+        }
+        AdProbs { probs: Arc::new(out) }
+    }
+
+    /// Approximate resident bytes of the probability matrix.
+    pub fn memory_bytes(&self) -> usize {
+        self.probs.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Flattened ad-specific edge probabilities, indexed by canonical edge id.
+/// Cheap to clone (shared storage) so per-ad copies can be handed to worker
+/// threads and, under single-topic models, shared across all ads.
+#[derive(Clone, Debug)]
+pub struct AdProbs {
+    probs: Arc<Vec<f32>>,
+}
+
+impl AdProbs {
+    /// Wraps an explicit probability vector (one entry per canonical edge).
+    pub fn from_vec(probs: Vec<f32>) -> Self {
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        AdProbs { probs: Arc::new(probs) }
+    }
+
+    /// Probability of the given edge.
+    #[inline]
+    pub fn get(&self, eid: u32) -> f32 {
+        self.probs[eid as usize]
+    }
+
+    /// Underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// Number of edges covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// True if this and `other` share storage (used to dedupe memory
+    /// accounting for single-topic instances).
+    pub fn shares_storage(&self, other: &AdProbs) -> bool {
+        Arc::ptr_eq(&self.probs, &other.probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use rm_graph::builder::graph_from_edges;
+
+    fn diamond() -> CsrGraph {
+        graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn weighted_cascade_probabilities() {
+        let g = diamond();
+        let tic = TicModel::weighted_cascade(&g);
+        // Node 3 has indeg 2 -> both incoming edges get 0.5.
+        for (eid, _) in g.in_edges(3) {
+            assert!((tic.topic_prob(eid, 0) - 0.5).abs() < 1e-6);
+        }
+        // Node 1 has indeg 1 -> probability 1.
+        for (eid, _) in g.in_edges(1) {
+            assert!((tic.topic_prob(eid, 0) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eq1_mixture() {
+        let g = diamond();
+        let l = 2;
+        // Edge-major: topic 0 prob 0.8, topic 1 prob 0.2 on every edge.
+        let probs: Vec<f32> = (0..g.num_edges()).flat_map(|_| [0.8, 0.2]).collect();
+        let tic = TicModel::from_matrix(&g, l, probs);
+        let gamma = TopicDistribution::new(&[0.25, 0.75]);
+        let ap = tic.ad_probs(&gamma);
+        let expect = 0.25 * 0.8 + 0.75 * 0.2;
+        for e in 0..g.num_edges() as u32 {
+            assert!((ap.get(e) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_topic_reduces_to_ic() {
+        // Footnote 7: identical topic distributions make TIC = IC.
+        let g = diamond();
+        let tic = TicModel::uniform(&g, 0.3);
+        let a = tic.ad_probs(&TopicDistribution::uniform(1));
+        let b = tic.ad_probs(&TopicDistribution::delta(1, 0));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn topical_model_peaks_match_ads() {
+        let g = diamond();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tic = TicModel::topical(&g, 4, TopicalConfig::default(), &mut rng);
+        // An ad peaked on edge e's dominant topic must see a higher
+        // probability than an ad peaked elsewhere.
+        for e in 0..g.num_edges() as u32 {
+            let probs: Vec<f32> = (0..4).map(|z| tic.topic_prob(e, z)).collect();
+            let zmax = (0..4).max_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap()).unwrap();
+            let on = tic.ad_probs(&TopicDistribution::peaked(4, zmax, 0.91));
+            let off = tic.ad_probs(&TopicDistribution::peaked(4, (zmax + 1) % 4, 0.91));
+            assert!(on.get(e) > off.get(e), "edge {e}: on {} off {}", on.get(e), off.get(e));
+        }
+    }
+
+    #[test]
+    fn trivalency_levels_only() {
+        let g = diamond();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let tic = TicModel::trivalency(&g, &mut rng);
+        for e in 0..g.num_edges() as u32 {
+            let p = tic.topic_prob(e, 0);
+            assert!([0.1, 0.01, 0.001].iter().any(|&x| (p - x).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_rejected() {
+        let g = diamond();
+        let _ = TicModel::from_matrix(&g, 2, vec![0.1; 3]);
+    }
+}

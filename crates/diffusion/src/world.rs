@@ -1,0 +1,139 @@
+//! Possible-world (live-edge) semantics.
+//!
+//! Under IC/TIC, a cascade is equivalent to first sampling a deterministic
+//! subgraph ("possible world") where each edge is live independently with its
+//! ad-specific probability, then taking forward reachability from the seeds.
+//! This equivalence powers the RR-set estimators; here we expose it directly
+//! plus an exponential-time exact spread oracle for tiny graphs used to
+//! validate every estimator in the workspace.
+
+use rand::Rng;
+
+use rm_graph::{CsrGraph, NodeId};
+
+use crate::tic::AdProbs;
+
+/// Samples a possible world: `live[eid]` is true iff the edge survived.
+pub fn sample_world<R: Rng + ?Sized>(g: &CsrGraph, probs: &AdProbs, rng: &mut R) -> Vec<bool> {
+    (0..g.num_edges() as u32).map(|e| rng.random::<f32>() < probs.get(e)).collect()
+}
+
+/// Number of nodes forward-reachable from `seeds` through live edges.
+pub fn reachable_count(g: &CsrGraph, live: &[bool], seeds: &[NodeId]) -> usize {
+    assert_eq!(live.len(), g.num_edges());
+    let mut visited = vec![false; g.num_nodes()];
+    let mut queue: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let u = queue[qi];
+        qi += 1;
+        for (eid, v) in g.out_edges(u) {
+            if live[eid as usize] && !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    queue.len()
+}
+
+/// **Exact** expected spread by enumerating all `2^m` possible worlds.
+/// Usable only on tiny graphs (`m <= 20` or so); this is the ground-truth
+/// oracle for estimator tests and the Figure 1 gadget.
+///
+/// # Panics
+/// Panics if the graph has more than 24 edges.
+pub fn exact_spread_enumeration(g: &CsrGraph, probs: &AdProbs, seeds: &[NodeId]) -> f64 {
+    let m = g.num_edges();
+    assert!(m <= 24, "exact enumeration is exponential; got {m} edges");
+    if seeds.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut live = vec![false; m];
+    for mask in 0u32..(1u32 << m) {
+        let mut pw = 1.0f64;
+        for (e, slot) in live.iter_mut().enumerate() {
+            let p = probs.get(e as u32) as f64;
+            if mask >> e & 1 == 1 {
+                *slot = true;
+                pw *= p;
+            } else {
+                *slot = false;
+                pw *= 1.0 - p;
+            }
+            if pw == 0.0 {
+                break;
+            }
+        }
+        if pw > 0.0 {
+            total += pw * reachable_count(g, &live, seeds) as f64;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread::estimate_spread;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use rm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn exact_matches_closed_form_on_chain() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let probs = AdProbs::from_vec(vec![0.5, 0.25]);
+        let exact = exact_spread_enumeration(&g, &probs, &[0]);
+        assert!((exact - (1.0 + 0.5 + 0.5 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_handles_converging_paths() {
+        // Diamond: 0->1, 0->2, 1->3, 2->3, all p=0.5.
+        // P(3 active) = 1 - (1 - 0.25)^2 = 0.4375.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let probs = AdProbs::from_vec(vec![0.5; 4]);
+        let exact = exact_spread_enumeration(&g, &probs, &[0]);
+        assert!((exact - (1.0 + 0.5 + 0.5 + 0.4375)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_converges_to_exact() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let probs = AdProbs::from_vec(vec![0.4, 0.6, 0.5, 0.3, 0.7]);
+        let exact = exact_spread_enumeration(&g, &probs, &[0]);
+        let mc = estimate_spread(&g, &probs, &[0], 100_000, 99).spread;
+        assert!((exact - mc).abs() < 0.03, "exact {exact}, MC {mc}");
+    }
+
+    #[test]
+    fn world_reachability_is_monotone_in_liveness() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let none = vec![false; 3];
+        let all = vec![true; 3];
+        assert_eq!(reachable_count(&g, &none, &[0]), 1);
+        assert_eq!(reachable_count(&g, &all, &[0]), 4);
+    }
+
+    #[test]
+    fn sampled_world_liveness_rate() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let probs = AdProbs::from_vec(vec![0.3]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut live_count = 0;
+        for _ in 0..10_000 {
+            if sample_world(&g, &probs, &mut rng)[0] {
+                live_count += 1;
+            }
+        }
+        let rate = live_count as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+}

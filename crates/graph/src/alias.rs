@@ -1,0 +1,149 @@
+//! Walker alias tables for O(1) sampling from fixed discrete distributions.
+//!
+//! Used by the Chung–Lu generator (sampling edge endpoints proportionally to
+//! node weights) and anywhere else a fixed categorical distribution is drawn
+//! from many times.
+
+use rand::Rng;
+
+/// Walker alias table over `k` outcomes.
+///
+/// Construction is O(k); each sample costs one uniform draw for the bucket,
+/// one for the coin, and two array reads.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the "own" outcome per bucket.
+    prob: Vec<f64>,
+    /// Fallback outcome per bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights. Weights need not be
+    /// normalized. All-zero (or empty) weight vectors are rejected.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let k = weights.len();
+        assert!(k <= u32::MAX as usize, "too many outcomes");
+        let total: f64 = weights.iter().copied().sum();
+        assert!(
+            total.is_finite() && total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be finite, non-negative, and not all zero"
+        );
+
+        // Scale to mean 1 per bucket and split into small/large work lists.
+        let scale = k as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![1.0f64; k];
+        let mut alias: Vec<u32> = (0..k as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: all remaining buckets keep probability 1.
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (never constructible; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let k = self.prob.len();
+        let bucket = rng.random_range(0..k);
+        if rng.random::<f64>() < self.prob[bucket] {
+            bucket as u32
+        } else {
+            self.alias[bucket]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn uniform_weights_sample_everything() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[t.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 3.0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let x = t.sample(&mut rng);
+            assert!(x == 1 || x == 3, "sampled zero-weight outcome {x}");
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&w);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = w.iter().sum();
+        for i in 0..4 {
+            let expected = w[i] / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "outcome {i}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Compressed sparse row graph with dual (out + in) adjacency views.
+//!
+//! Both views share one canonical edge-id space: edge ids are assigned by the
+//! position of the edge in the **out**-CSR (i.e. edges sorted by
+//! `(source, target)`), and the in-CSR carries, for every in-slot, the
+//! canonical id of the corresponding edge. Per-edge attribute arrays (e.g.
+//! influence probabilities) are indexed by canonical edge id and therefore
+//! usable from both directions.
+
+/// Node identifier. `u32` keeps adjacency arrays compact; graphs up to
+/// ~4.2 billion nodes are representable, far beyond this workspace's needs.
+pub type NodeId = u32;
+
+/// Canonical edge identifier (position in the out-CSR).
+pub type EdgeId = u32;
+
+/// Immutable directed graph in CSR form.
+///
+/// Construct via [`crate::GraphBuilder`] or the generators; the constructor
+/// here ([`CsrGraph::from_sorted_edges`]) expects pre-cleaned input.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    n: usize,
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets`.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` / `in_eids`.
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+    /// Canonical edge id of each in-slot.
+    in_eids: Vec<EdgeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from edges that are already sorted by `(src, dst)`,
+    /// deduplicated, self-loop free, and with all endpoints `< n`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the input violates those preconditions.
+    pub fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let m = edges.len();
+        assert!(m < u32::MAX as usize, "edge count exceeds u32 range");
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+deduped");
+
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_deg = vec![0u32; n];
+        for &(s, t) in edges {
+            debug_assert!((s as usize) < n && (t as usize) < n, "endpoint out of range");
+            debug_assert_ne!(s, t, "self loop");
+            out_offsets[s as usize + 1] += 1;
+            in_deg[t as usize] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        for &(_, t) in edges {
+            out_targets.push(t);
+        }
+
+        let mut in_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            in_offsets[v + 1] = in_offsets[v] + in_deg[v];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_eids = vec![0 as EdgeId; m];
+        for (eid, &(s, t)) in edges.iter().enumerate() {
+            let slot = cursor[t as usize] as usize;
+            cursor[t as usize] += 1;
+            in_sources[slot] = s;
+            in_eids[slot] = eid as EdgeId;
+        }
+
+        CsrGraph { n, out_offsets, out_targets, in_offsets, in_sources, in_eids }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
+    }
+
+    /// Targets of the out-edges of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let a = self.out_offsets[u as usize] as usize;
+        let b = self.out_offsets[u as usize + 1] as usize;
+        &self.out_targets[a..b]
+    }
+
+    /// Sources of the in-edges of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let a = self.in_offsets[v as usize] as usize;
+        let b = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[a..b]
+    }
+
+    /// Out-edges of `u` as `(canonical edge id, target)` pairs. The canonical
+    /// id of the `k`-th out-edge of `u` is simply `out_offsets[u] + k`.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let a = self.out_offsets[u as usize];
+        let b = self.out_offsets[u as usize + 1];
+        (a..b).map(move |eid| (eid, self.out_targets[eid as usize]))
+    }
+
+    /// In-edges of `v` as `(canonical edge id, source)` pairs.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let a = self.in_offsets[v as usize] as usize;
+        let b = self.in_offsets[v as usize + 1] as usize;
+        (a..b).map(move |i| (self.in_eids[i], self.in_sources[i]))
+    }
+
+    /// Raw in-slot range for `v` (used by the RR sampler's hot loop to avoid
+    /// iterator overhead).
+    #[inline]
+    pub fn in_slot_range(&self, v: NodeId) -> (usize, usize) {
+        (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize)
+    }
+
+    /// In-slot arrays (sources and canonical edge ids), parallel to each other.
+    #[inline]
+    pub fn in_slots(&self) -> (&[NodeId], &[EdgeId]) {
+        (&self.in_sources, &self.in_eids)
+    }
+
+    /// Iterates all edges as `(edge id, source, target)` in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        (0..self.n as NodeId).flat_map(move |u| self.out_edges(u).map(move |(e, v)| (e, u, v)))
+    }
+
+    /// Approximate resident memory of the topology arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        4 * (self.out_offsets.len()
+            + self.out_targets.len()
+            + self.in_offsets.len()
+            + self.in_sources.len()
+            + self.in_eids.len())
+    }
+
+    /// Returns the transpose (every edge reversed). Edge ids are **not**
+    /// preserved; use only where per-edge attributes are symmetric.
+    pub fn transpose(&self) -> CsrGraph {
+        let mut edges: Vec<(NodeId, NodeId)> =
+            self.edges().map(|(_, u, v)| (v, u)).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        CsrGraph::from_sorted_edges(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::from_sorted_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn adjacency_views_agree() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        // Every in-edge's canonical id must map back to the same (src, dst).
+        for v in 0..4u32 {
+            for (eid, src) in g.in_edges(v) {
+                let found = g
+                    .out_edges(src)
+                    .any(|(e2, t)| e2 == eid && t == v);
+                assert!(found, "in-edge ({src}->{v}, id {eid}) missing from out view");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_are_canonical_positions() {
+        let g = diamond();
+        let ids: Vec<_> = g.edges().map(|(e, _, _)| e).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.out_neighbors(3), &[1, 2]);
+        assert_eq!(t.in_neighbors(1), &[3]);
+        assert_eq!(t.num_edges(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_sorted_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn isolated_nodes_between_connected_ones() {
+        let g = CsrGraph::from_sorted_edges(5, &[(0, 4)]);
+        assert_eq!(g.out_degree(0), 1);
+        for u in 1..4 {
+            assert_eq!(g.out_degree(u), 0);
+            assert_eq!(g.in_degree(u), 0);
+        }
+        assert_eq!(g.in_degree(4), 1);
+    }
+}

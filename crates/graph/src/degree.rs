@@ -1,0 +1,84 @@
+//! Degree statistics (used by the dataset-statistics table and the
+//! out-degree incentive proxy).
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub median: f64,
+    /// Fraction of total degree held by the top 1% of nodes — a cheap
+    /// heavy-tail indicator.
+    pub top1_share: f64,
+}
+
+fn stats(mut degs: Vec<usize>) -> DegreeStats {
+    assert!(!degs.is_empty());
+    degs.sort_unstable();
+    let n = degs.len();
+    let total: usize = degs.iter().sum();
+    let mean = total as f64 / n as f64;
+    let median = if n % 2 == 1 {
+        degs[n / 2] as f64
+    } else {
+        (degs[n / 2 - 1] + degs[n / 2]) as f64 / 2.0
+    };
+    let k = (n / 100).max(1);
+    let top: usize = degs[n - k..].iter().sum();
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean,
+        median,
+        top1_share: if total == 0 { 0.0 } else { top as f64 / total as f64 },
+    }
+}
+
+/// Out-degree statistics.
+pub fn out_degree_stats(g: &CsrGraph) -> DegreeStats {
+    stats((0..g.num_nodes() as NodeId).map(|u| g.out_degree(u)).collect())
+}
+
+/// In-degree statistics.
+pub fn in_degree_stats(g: &CsrGraph) -> DegreeStats {
+    stats((0..g.num_nodes() as NodeId).map(|u| g.in_degree(u)).collect())
+}
+
+/// Out-degree of every node as `f64` (the paper's incentive proxy on large
+/// graphs: "we use the out-degree of the nodes as a proxy to σ_i({u})").
+pub fn out_degrees_f64(g: &CsrGraph) -> Vec<f64> {
+    (0..g.num_nodes() as NodeId).map(|u| g.out_degree(u) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn basic_stats() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let s = out_degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert!((s.median - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_out_totals_agree() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let so = out_degree_stats(&g);
+        let si = in_degree_stats(&g);
+        assert!((so.mean - si.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proxy_vector_matches_degrees() {
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        assert_eq!(out_degrees_f64(&g), vec![2.0, 0.0, 0.0]);
+    }
+}

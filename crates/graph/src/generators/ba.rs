@@ -1,0 +1,92 @@
+//! Barabási–Albert preferential attachment.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Barabási–Albert graph: starts from a seed clique of `m0 = m_attach + 1`
+/// nodes, then each new node attaches to `m_attach` distinct existing nodes
+/// chosen proportionally to their current degree (implemented with the
+/// repeated-endpoint list trick). Edges are added in both directions, giving
+/// a symmetric follower graph with a power-law degree tail.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> CsrGraph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more nodes than the attachment count");
+    let mut b = GraphBuilder::with_capacity(n, 2 * n * m_attach);
+    // Flat list where each node appears once per incident edge endpoint;
+    // sampling uniformly from it is sampling proportionally to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+
+    let m0 = m_attach + 1;
+    for u in 0..m0 as NodeId {
+        for v in 0..u {
+            b.add_undirected(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut picked: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for u in m0 as NodeId..n as NodeId {
+        picked.clear();
+        let mut guard = 0usize;
+        while picked.len() < m_attach {
+            guard += 1;
+            let t = if guard > 50 * m_attach {
+                // Degenerate corner: fall back to uniform to guarantee progress.
+                rng.random_range(0..u) as NodeId
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())]
+            };
+            if t != u && !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_undirected(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng);
+        // Seed clique has C(m+1,2) undirected edges; each later node adds m.
+        let undirected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), 2 * undirected);
+    }
+
+    #[test]
+    fn symmetric() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let g = barabasi_albert(200, 2, &mut rng);
+        for (_, u, v) in g.edges() {
+            assert!(g.out_neighbors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let n = 2000;
+        let g = barabasi_albert(n, 2, &mut rng);
+        let max_deg = (0..n as NodeId).map(|u| g.out_degree(u)).max().unwrap();
+        let mean = g.num_edges() as f64 / n as f64;
+        assert!(
+            max_deg as f64 > 8.0 * mean,
+            "max degree {max_deg} vs mean {mean}: no hub formed"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Forest-fire graphs (Leskovec et al.): densifying, community-like growth.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Forest-fire model: each arriving node picks a random ambassador, links to
+/// it, then "burns" outward — recursively linking to a geometrically
+/// distributed number of the ambassador's out-neighbours (forward probability
+/// `fw`) and in-neighbours (backward probability `bw * fw`).
+///
+/// Produces graphs with heavy-tailed degrees and strong local clustering.
+/// Directed: new node points at burned nodes.
+pub fn forest_fire<R: Rng + ?Sized>(n: usize, fw: f64, bw: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..1.0).contains(&fw), "forward probability must be in [0,1)");
+    assert!((0.0..=1.0).contains(&bw));
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    // Incremental adjacency mirrors (the CSR is only built at the end).
+    let mut outs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut ins: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut burned = vec![u32::MAX; n]; // epoch marks
+    let mut queue: Vec<NodeId> = Vec::new();
+
+    for u in 1..n as NodeId {
+        let epoch = u;
+        let ambassador = rng.random_range(0..u) as NodeId;
+        queue.clear();
+        queue.push(ambassador);
+        burned[ambassador as usize] = epoch;
+        let mut qi = 0;
+        // Cap the burn so a single arrival cannot torch the whole graph.
+        let burn_cap = 200usize;
+        while qi < queue.len() && queue.len() < burn_cap {
+            let w = queue[qi];
+            qi += 1;
+            let x = geometric(fw, rng);
+            let y = geometric(fw * bw, rng);
+            spread(&outs[w as usize], x, epoch, &mut burned, &mut queue, rng);
+            spread(&ins[w as usize], y, epoch, &mut burned, &mut queue, rng);
+        }
+        for &w in &queue {
+            b.add_edge(u, w);
+            outs[u as usize].push(w);
+            ins[w as usize].push(u);
+        }
+    }
+    b.build()
+}
+
+/// Picks up to `count` distinct unburned nodes from `cands` and enqueues them.
+fn spread<R: Rng + ?Sized>(
+    cands: &[NodeId],
+    count: usize,
+    epoch: u32,
+    burned: &mut [u32],
+    queue: &mut Vec<NodeId>,
+    rng: &mut R,
+) {
+    if cands.is_empty() || count == 0 {
+        return;
+    }
+    let mut taken = 0;
+    let mut tries = 0;
+    while taken < count && tries < 4 * cands.len() {
+        tries += 1;
+        let w = cands[rng.random_range(0..cands.len())];
+        if burned[w as usize] != epoch {
+            burned[w as usize] = epoch;
+            queue.push(w);
+            taken += 1;
+        }
+    }
+}
+
+/// Geometric(1-p) sample: number of successes before the first failure when
+/// each success has probability `p`.
+fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> usize {
+    if p <= 0.0 {
+        return 0;
+    }
+    let mut k = 0;
+    while rng.random::<f64>() < p && k < 64 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn connected_in_the_weak_sense() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        let g = forest_fire(300, 0.35, 0.3, &mut rng);
+        // Every node except node 0 has at least one out-edge (to its burn set).
+        for u in 1..300u32 {
+            assert!(g.out_degree(u) >= 1, "node {u} has no links");
+        }
+    }
+
+    #[test]
+    fn zero_fire_is_a_random_recursive_tree() {
+        let mut rng = SmallRng::seed_from_u64(52);
+        let g = forest_fire(100, 0.0, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 99);
+    }
+
+    #[test]
+    fn densifies_with_higher_forward_probability() {
+        let mut a = SmallRng::seed_from_u64(53);
+        let mut b = SmallRng::seed_from_u64(53);
+        let sparse = forest_fire(400, 0.1, 0.2, &mut a);
+        let dense = forest_fire(400, 0.45, 0.2, &mut b);
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+}

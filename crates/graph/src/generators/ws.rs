@@ -1,0 +1,72 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Watts–Strogatz: a ring lattice where each node connects to its `k`
+/// nearest neighbours (`k` even), with each lattice edge rewired to a uniform
+/// random endpoint with probability `beta`. Added in both directions.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let mut v = ((u + j) % n) as NodeId;
+            if rng.random::<f64>() < beta {
+                // Rewire to a random non-self endpoint.
+                let mut guard = 0;
+                loop {
+                    let cand = rng.random_range(0..n) as NodeId;
+                    guard += 1;
+                    if cand != u as NodeId || guard > 100 {
+                        v = cand;
+                        break;
+                    }
+                }
+                if v == u as NodeId {
+                    continue; // give up on this edge in the pathological case
+                }
+            }
+            b.add_undirected(u as NodeId, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn no_rewiring_is_a_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        for u in 0..20u32 {
+            let mut expect = vec![
+                (u + 1) % 20,
+                (u + 2) % 20,
+                (u + 20 - 1) % 20,
+                (u + 20 - 2) % 20,
+            ];
+            expect.sort_unstable();
+            let mut got = g.out_neighbors(u).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, expect, "node {u}");
+        }
+    }
+
+    #[test]
+    fn full_rewiring_still_roughly_k_regular_in_expectation() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 400;
+        let k = 6;
+        let g = watts_strogatz(n, k, 1.0, &mut rng);
+        // Dedup may drop a few collisions but the bulk must remain.
+        assert!(g.num_edges() as f64 > 0.9 * (n * k) as f64);
+    }
+}

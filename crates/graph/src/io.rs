@@ -1,0 +1,107 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: one `src dst` pair per line, `#`-prefixed comment lines ignored.
+//! This matches the SNAP conventions used for the paper's public datasets so
+//! real edge lists can be dropped in where licensing permits.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Reads an edge list from a reader. Node ids are compacted: the graph has
+/// `max id + 1` nodes.
+pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: NodeId = 0;
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge line: {t:?}"),
+                ))
+            }
+        };
+        let u: NodeId = a.parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad node id {a:?}: {e}"))
+        })?;
+        let v: NodeId = b.parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad node id {b:?}: {e}"))
+        })?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend(edges);
+    Ok(b.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(f))
+}
+
+/// Writes the graph as an edge list.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (_, u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes the graph to a file path.
+pub fn write_edge_list_file(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn round_trip() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (3, 4), (4, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        let e1: Vec<_> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n0 1\n# mid comment\n1 2\n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let text = "0 1\nbogus\n";
+        assert!(read_edge_list(io::BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(io::BufReader::new("".as_bytes())).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rm-rrsets — reverse-reachable set machinery
+//!
+//! Scalable influence-spread estimation in the style of Borgs et al. and
+//! TIM (Tang et al., SIGMOD 2014), adapted as the paper's §4 requires:
+//!
+//! * [`sampler`]: random **RR-set** generation under ad-specific edge
+//!   probabilities — pick a uniform target `w`, then traverse *incoming*
+//!   edges, keeping each independently with its probability; the resulting
+//!   node set `R` satisfies `σ(S) = n · Pr[S ∩ R ≠ ∅]`.
+//! * [`index`]: the **coverage index** used by the greedy loops — per-node
+//!   inverted lists, incremental covered-set bookkeeping, support for
+//!   *growing* the sample mid-run (Algorithm 3 `UpdateEstimates`), byte-level
+//!   memory accounting (Table 3), and CELF-style lazy-greedy heaps.
+//! * [`tim`]: **sample-size determination** — `L(s, ε)` of Eq. 8 and TIM's
+//!   KPT* estimation of the `OPT_s` lower bound, with cached RR-set widths so
+//!   the bound can be re-evaluated for a growing seed-set size `s` without
+//!   resampling (see DESIGN.md → Engineering notes).
+//! * [`estimator`]: stand-alone unbiased spread estimators over fresh
+//!   samples, used for incentive pricing (singleton spreads of *all* nodes
+//!   from one sample) and for algorithm-independent evaluation of final
+//!   allocations.
+
+pub mod estimator;
+pub mod im;
+pub mod index;
+pub mod sampler;
+pub mod tim;
+
+pub use estimator::{rr_estimate_spread, rr_singleton_spreads};
+pub use im::{tim_influence_maximization, ImResult};
+pub use index::{LazyGreedyHeap, RrCoverage};
+pub use sampler::{sample_rr_batch, sample_rr_set, RrWorkspace};
+pub use tim::{log_choose, sample_size, KptEstimator, TimConfig};

@@ -1,0 +1,237 @@
+//! TIM-style sample-size determination (Eq. 8) and KPT* estimation.
+//!
+//! Eq. 8 of the paper (taken from Tang et al. 2014):
+//!
+//! ```text
+//! L(s, ε) = (8 + 2ε) · n · (ℓ·ln n + ln C(n, s) + ln 2) / (OPT_s · ε²)
+//! ```
+//!
+//! With `θ ≥ L(s, ε)` RR sets, every seed set of size ≤ `s` has its spread
+//! estimated within `± ε/2 · OPT_s` w.h.p. The unknown `OPT_s` is lower-
+//! bounded by TIM's KPT* estimation; since the RM algorithms *grow* `s`
+//! during the run (latent seed-set-size estimation, Eq. 10), the estimator
+//! caches the widths of its pilot RR sets so the bound can be re-evaluated
+//! for any `s` without fresh sampling.
+
+use rm_diffusion::AdProbs;
+use rm_graph::CsrGraph;
+
+use crate::sampler::sample_rr_batch;
+
+/// Parameters of the sample-size machinery.
+#[derive(Clone, Copy, Debug)]
+pub struct TimConfig {
+    /// Estimation accuracy ε (paper: 0.1 for quality runs, 0.3 for
+    /// scalability runs).
+    pub epsilon: f64,
+    /// Confidence exponent ℓ (failure probability `n^-ℓ`).
+    pub ell: f64,
+    /// Hard cap on RR sets per advertiser (safety valve; `usize::MAX`
+    /// disables).
+    pub max_sets_per_ad: usize,
+}
+
+impl Default for TimConfig {
+    fn default() -> Self {
+        TimConfig { epsilon: 0.1, ell: 1.0, max_sets_per_ad: usize::MAX }
+    }
+}
+
+/// `ln C(n, k)` computed stably as `Σ_{i=0..k-1} ln((n-i)/(i+1))`.
+pub fn log_choose(n: usize, k: usize) -> f64 {
+    if k == 0 || k >= n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// `L(s, ε)` of Eq. 8, given a lower bound `opt_s` on `OPT_s`.
+/// The result is clamped to at least 1.
+pub fn sample_size(n: usize, s: usize, cfg: &TimConfig, opt_s: f64) -> usize {
+    assert!(opt_s >= 1.0, "OPT_s lower bound must be >= 1");
+    assert!(cfg.epsilon > 0.0);
+    let n_f = n as f64;
+    let numerator =
+        (8.0 + 2.0 * cfg.epsilon) * n_f * (cfg.ell * n_f.ln() + log_choose(n, s) + 2f64.ln());
+    let theta = numerator / (opt_s * cfg.epsilon * cfg.epsilon);
+    (theta.ceil() as usize).clamp(1, cfg.max_sets_per_ad)
+}
+
+/// KPT* estimator (TIM Algorithm 2) with cached pilot widths.
+///
+/// `KPT_k = n/θ' · Σ_R κ_k(R)` with `κ_k(R) = 1 − (1 − ω(R)/m)^k` is an
+/// unbiased estimate of the expected spread of a *random* size-`k` seed set
+/// (sampled with replacement ∝ degree), hence a lower bound on `OPT_k`. The
+/// estimation loop halves a threshold until the empirical mean clears it.
+#[derive(Clone, Debug)]
+pub struct KptEstimator {
+    n: usize,
+    m: usize,
+    /// Widths of the pilot sample accepted by the estimation loop.
+    widths: Vec<u64>,
+    /// KPT* for the `k` used during estimation.
+    kpt_at_calibration: f64,
+    /// `k` used during estimation.
+    calibration_k: usize,
+}
+
+impl KptEstimator {
+    /// Runs the estimation loop for seed-set size `k`. Deterministic in
+    /// `seed`. Graphs with no edges yield the trivial bound.
+    pub fn estimate(
+        g: &CsrGraph,
+        probs: &AdProbs,
+        k: usize,
+        cfg: &TimConfig,
+        seed: u64,
+    ) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let k = k.max(1);
+        if n == 0 || m == 0 {
+            return KptEstimator {
+                n,
+                m,
+                widths: Vec::new(),
+                kpt_at_calibration: 1.0,
+                calibration_k: k,
+            };
+        }
+        let n_f = n as f64;
+        let log2n = n_f.log2().max(1.0);
+        let mut last_widths: Vec<u64> = Vec::new();
+        let max_rounds = (log2n.floor() as usize).saturating_sub(1).max(1);
+        for i in 1..=max_rounds {
+            let c_i = ((6.0 * cfg.ell * n_f.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32))
+                .ceil() as usize;
+            let c_i = c_i.min(cfg.max_sets_per_ad.max(1));
+            let (_, widths) = sample_rr_batch(g, probs, c_i, seed ^ (i as u64) << 48, 0);
+            let sum: f64 = widths.iter().map(|&w| kappa(w, m, k)).sum();
+            let mean = sum / c_i as f64;
+            last_widths = widths;
+            if mean > 1.0 / 2f64.powi(i as i32) {
+                let kpt = n_f * mean / 2.0;
+                return KptEstimator {
+                    n,
+                    m,
+                    widths: last_widths,
+                    kpt_at_calibration: kpt.max(1.0),
+                    calibration_k: k,
+                };
+            }
+        }
+        KptEstimator { n, m, widths: last_widths, kpt_at_calibration: 1.0, calibration_k: k }
+    }
+
+    /// KPT*-based `OPT_k` lower bound for an arbitrary `k`, re-evaluated on
+    /// the cached pilot widths (no resampling; see DESIGN.md). Always at
+    /// least `max(k, 1)` because a size-`k` seed set spreads at least `k`.
+    pub fn opt_lower_bound(&self, k: usize) -> f64 {
+        let k = k.max(1);
+        if self.widths.is_empty() || self.m == 0 {
+            return k as f64;
+        }
+        let sum: f64 = self.widths.iter().map(|&w| kappa(w, self.m, k)).sum();
+        let kpt = self.n as f64 * (sum / self.widths.len() as f64) / 2.0;
+        kpt.max(k as f64)
+    }
+
+    /// KPT* at the calibration size.
+    pub fn calibration(&self) -> (usize, f64) {
+        (self.calibration_k, self.kpt_at_calibration)
+    }
+}
+
+#[inline]
+fn kappa(width: u64, m: usize, k: usize) -> f64 {
+    let frac = width as f64 / m as f64;
+    1.0 - (1.0 - frac.min(1.0)).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_graph::builder::graph_from_edges;
+    use rm_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn log_choose_small_values() {
+        // C(5,2) = 10.
+        assert!((log_choose(5, 2) - 10f64.ln()).abs() < 1e-9);
+        assert_eq!(log_choose(7, 0), 0.0);
+        assert_eq!(log_choose(7, 7), 0.0);
+        // Symmetry.
+        assert!((log_choose(20, 3) - log_choose(20, 17)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_size_monotone_in_s_and_eps() {
+        let cfg1 = TimConfig { epsilon: 0.1, ..Default::default() };
+        let cfg3 = TimConfig { epsilon: 0.3, ..Default::default() };
+        let a = sample_size(10_000, 5, &cfg1, 100.0);
+        let b = sample_size(10_000, 50, &cfg1, 100.0);
+        assert!(b > a, "L must grow with s: {a} vs {b}");
+        let c = sample_size(10_000, 5, &cfg3, 100.0);
+        assert!(c < a, "looser epsilon needs fewer sets: {c} vs {a}");
+    }
+
+    #[test]
+    fn sample_size_decreases_with_opt() {
+        let cfg = TimConfig::default();
+        let a = sample_size(10_000, 5, &cfg, 10.0);
+        let b = sample_size(10_000, 5, &cfg, 1000.0);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn sample_size_respects_cap() {
+        let cfg = TimConfig { epsilon: 0.01, ell: 2.0, max_sets_per_ad: 5000 };
+        assert_eq!(sample_size(1_000_000, 100, &cfg, 1.0), 5000);
+    }
+
+    #[test]
+    fn kpt_bounds_true_optimum_from_below() {
+        // Random graph where we can sanity check OPT_1 >= KPT bound for k=1.
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = generators::erdos_renyi_m(300, 1500, true, &mut rng);
+        let probs = rm_diffusion::TicModel::weighted_cascade(&g)
+            .ad_probs(&rm_diffusion::TopicDistribution::uniform(1));
+        let cfg = TimConfig { epsilon: 0.2, ..Default::default() };
+        let est = KptEstimator::estimate(&g, &probs, 1, &cfg, 5);
+        let bound = est.opt_lower_bound(1);
+        // Ground truth: best singleton spread via MC.
+        let sing = rm_diffusion::singleton_spreads_mc(&g, &probs, 400, 9);
+        let opt1 = sing.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            bound <= opt1 * 1.15 + 1.0,
+            "KPT bound {bound} exceeds OPT_1 {opt1} by too much"
+        );
+        assert!(bound >= 1.0);
+    }
+
+    #[test]
+    fn opt_lower_bound_monotone_in_k() {
+        let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let probs = rm_diffusion::AdProbs::from_vec(vec![0.5; g.num_edges()]);
+        let cfg = TimConfig { epsilon: 0.3, ..Default::default() };
+        let est = KptEstimator::estimate(&g, &probs, 1, &cfg, 3);
+        let b1 = est.opt_lower_bound(1);
+        let b5 = est.opt_lower_bound(5);
+        let b20 = est.opt_lower_bound(20);
+        assert!(b1 <= b5 && b5 <= b20, "{b1} {b5} {b20}");
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let g = graph_from_edges(5, &[]);
+        let probs = rm_diffusion::AdProbs::from_vec(vec![]);
+        let est = KptEstimator::estimate(&g, &probs, 3, &TimConfig::default(), 1);
+        assert_eq!(est.opt_lower_bound(3), 3.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Compact dynamic bit set used as the canonical set representation for the
+//! combinatorial layer (ground sets here are small: nodes of gadget graphs,
+//! (node, ad) pairs of exactly-solved instances).
+
+/// Fixed-universe bit set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Empty set over `{0, .., universe-1}`.
+    pub fn new(universe: usize) -> Self {
+        BitSet { words: vec![0; universe.div_ceil(64)], universe, len: 0 }
+    }
+
+    /// Set containing the given elements.
+    pub fn from_iter(universe: usize, it: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(universe);
+        for x in it {
+            s.insert(x);
+        }
+        s
+    }
+
+    /// Full set `{0, .., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        Self::from_iter(universe, 0..universe)
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Cardinality.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, x: usize) -> bool {
+        debug_assert!(x < self.universe);
+        self.words[x / 64] >> (x % 64) & 1 == 1
+    }
+
+    /// Inserts `x`; returns true if it was absent.
+    #[inline]
+    pub fn insert(&mut self, x: usize) -> bool {
+        debug_assert!(x < self.universe, "element {x} outside universe {}", self.universe);
+        let w = &mut self.words[x / 64];
+        let bit = 1u64 << (x % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `x`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, x: usize) -> bool {
+        let w = &mut self.words[x / 64];
+        let bit = 1u64 << (x % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `self` with `x` inserted (non-mutating helper for marginals).
+    pub fn with(&self, x: usize) -> BitSet {
+        let mut s = self.clone();
+        s.insert(x);
+        s
+    }
+
+    /// Returns `self` with `x` removed.
+    pub fn without(&self, x: usize) -> BitSet {
+        let mut s = self.clone();
+        s.remove(x);
+        s
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Universe is inferred as `max + 1`; prefer [`BitSet::from_iter`] with an
+    /// explicit universe when mixing sets.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let universe = items.iter().max().map_or(0, |&m| m + 1);
+        BitSet::from_iter(universe, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = BitSet::from_iter(200, [5, 190, 63, 64, 0]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 190]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_iter(10, [1, 3]);
+        let b = BitSet::from_iter(10, [1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(BitSet::new(10).is_subset_of(&a));
+    }
+
+    #[test]
+    fn with_without_do_not_mutate() {
+        let a = BitSet::from_iter(5, [1]);
+        let b = a.with(3);
+        assert!(!a.contains(3) && b.contains(3));
+        let c = b.without(1);
+        assert!(b.contains(1) && !c.contains(1));
+    }
+
+    #[test]
+    fn full_set() {
+        let f = BitSet::full(65);
+        assert_eq!(f.len(), 65);
+        assert!(f.contains(64));
+    }
+}

@@ -1,0 +1,129 @@
+//! Instance-dependent approximation bounds: Theorems 2, 3 and 4.
+
+/// Theorem 2 (CA-GREEDY):
+/// `(1/κ_π) · [1 − ((R − κ_π)/R)^r]`, where `κ_π` is the total curvature of
+/// the revenue function and `r`/`R` are the lower/upper ranks of the
+/// feasibility independence system.
+///
+/// The `κ → 0` limit is `r/R` (Eq. 2–3 of the paper show the bound is always
+/// at least `1/R`).
+pub fn theorem2_bound(kappa: f64, r: usize, big_r: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&kappa), "curvature must be in [0,1]");
+    assert!(big_r >= 1 && r >= 1 && r <= big_r, "need 1 <= r <= R");
+    let rr = big_r as f64;
+    if kappa < 1e-12 {
+        // lim_{κ→0} (1/κ)(1 − (1 − κ/R)^r) = r/R.
+        return r as f64 / rr;
+    }
+    (1.0 - ((rr - kappa) / rr).powi(r as i32)) / kappa
+}
+
+/// Theorem 2 specialisation discussed in the paper: for a matroid constraint
+/// (`r = R`) the bound tends to `(1/κ)(1 − e^{−κ})`, improving on `1 − 1/e`.
+pub fn matroid_curvature_bound(kappa: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&kappa));
+    if kappa < 1e-12 {
+        return 1.0;
+    }
+    (1.0 - (-kappa).exp()) / kappa
+}
+
+/// Theorem 3 (CS-GREEDY):
+/// `1 − R·ρ_max / (R·ρ_max + (1 − max_i κ_{ρ_i}) · ρ_min)`.
+///
+/// Degenerates to 0 as `max_i κ_{ρ_i} → 1` (the paper notes the guarantee is
+/// unbounded for totally saturated payment functions).
+pub fn theorem3_bound(big_r: usize, kappa_rho_max: f64, rho_max: f64, rho_min: f64) -> f64 {
+    assert!(big_r >= 1);
+    assert!((0.0..=1.0).contains(&kappa_rho_max));
+    assert!(rho_max >= rho_min && rho_min >= 0.0);
+    let denom = big_r as f64 * rho_max + (1.0 - kappa_rho_max) * rho_min;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (big_r as f64 * rho_max) / denom
+}
+
+/// Theorem 4: additive deterioration of the RR-based algorithms.
+/// Returns `Σ_i cpe(i) · ε · OPT_{s_i}` — the slack subtracted from
+/// `β · π(S*)` when TI-CARM / TI-CSRM replace the exact oracles.
+pub fn theorem4_deterioration(cpes: &[f64], epsilon: f64, opt_si: &[f64]) -> f64 {
+    assert_eq!(cpes.len(), opt_si.len());
+    assert!(epsilon > 0.0);
+    cpes.iter().zip(opt_si).map(|(&c, &o)| c * epsilon * o).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure1_instance_bound_is_one_half() {
+        // Paper's tightness instance: κ_π = 1, r = 1, R = 2 ⇒ bound 1/2.
+        let b = theorem2_bound(1.0, 1, 2);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matroid_case_beats_1_minus_1_over_e() {
+        for kappa in [0.2, 0.5, 0.8, 1.0] {
+            let b = matroid_curvature_bound(kappa);
+            assert!(b >= 1.0 - (-1.0f64).exp() - 1e-12, "κ={kappa}: {b}");
+        }
+        // κ = 1 recovers exactly 1 − 1/e.
+        assert!((matroid_curvature_bound(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_zero_curvature_limit() {
+        assert!((theorem2_bound(0.0, 3, 4) - 0.75).abs() < 1e-12);
+        // Continuity: tiny κ ≈ limit.
+        assert!((theorem2_bound(1e-13, 3, 4) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem3_examples() {
+        // Modular payments (κ=0), uniform singleton payments: 1 − R/(R+1).
+        let b = theorem3_bound(4, 0.0, 1.0, 1.0);
+        assert!((b - 0.2).abs() < 1e-12);
+        // Saturated payments degenerate to 0.
+        assert_eq!(theorem3_bound(4, 1.0, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn theorem4_sums_per_ad_slack() {
+        let slack = theorem4_deterioration(&[1.0, 2.0], 0.1, &[100.0, 50.0]);
+        assert!((slack - (0.1 * 100.0 + 2.0 * 0.1 * 50.0)).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Theorem 2's bound is always within (0, 1] and at least 1/R (Eq. 3).
+        #[test]
+        fn theorem2_range(kappa in 0.0f64..=1.0, r in 1usize..6, extra in 0usize..6) {
+            let big_r = r + extra;
+            let b = theorem2_bound(kappa, r, big_r);
+            prop_assert!(b > 0.0 && b <= 1.0 + 1e-12, "bound {b}");
+            prop_assert!(b + 1e-12 >= 1.0 / big_r as f64, "bound {b} below 1/R");
+        }
+
+        /// Bound improves as r approaches R.
+        #[test]
+        fn theorem2_monotone_in_r(kappa in 0.01f64..=1.0, big_r in 2usize..8) {
+            let mut prev = 0.0;
+            for r in 1..=big_r {
+                let b = theorem2_bound(kappa, r, big_r);
+                prop_assert!(b + 1e-12 >= prev, "r={r}: {b} < {prev}");
+                prev = b;
+            }
+        }
+
+        /// Theorem 3 improves as ρ_max/ρ_min shrinks (paper's discussion).
+        #[test]
+        fn theorem3_monotone_in_ratio(big_r in 1usize..6, kappa in 0.0f64..0.99) {
+            let tight = theorem3_bound(big_r, kappa, 1.0, 1.0);
+            let loose = theorem3_bound(big_r, kappa, 10.0, 1.0);
+            prop_assert!(tight >= loose - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Curvature of submodular functions (Definition 4 and Iyer et al.'s
+//! average curvature), the quantities the paper's approximation guarantees
+//! are expressed in.
+
+use crate::bitset::BitSet;
+use crate::function::SetFunction;
+
+/// Total curvature `κ_f = 1 − min_j f(j | V∖{j}) / f({j})`.
+///
+/// Elements with `f({j}) = 0` are skipped (their ratio is taken as 1, the
+/// modular convention); a function that is zero everywhere has curvature 0.
+pub fn total_curvature<F: SetFunction + ?Sized>(f: &F) -> f64 {
+    let n = f.ground_size();
+    let full = BitSet::full(n);
+    let mut min_ratio = 1.0f64;
+    for j in 0..n {
+        let single = f.singleton(j);
+        if single <= 0.0 {
+            continue;
+        }
+        let rest = full.without(j);
+        let ratio = f.marginal(j, &rest) / single;
+        min_ratio = min_ratio.min(ratio);
+    }
+    (1.0 - min_ratio).clamp(0.0, 1.0)
+}
+
+/// Curvature with respect to a set `S`:
+/// `κ_f(S) = 1 − min_{j∈S} f(j | S∖{j}) / f({j})`.
+pub fn curvature_wrt<F: SetFunction + ?Sized>(f: &F, s: &BitSet) -> f64 {
+    let mut min_ratio = 1.0f64;
+    for j in s.iter() {
+        let single = f.singleton(j);
+        if single <= 0.0 {
+            continue;
+        }
+        let ratio = f.marginal(j, &s.without(j)) / single;
+        min_ratio = min_ratio.min(ratio);
+    }
+    (1.0 - min_ratio).clamp(0.0, 1.0)
+}
+
+/// Average curvature (Iyer et al.):
+/// `κ̂_f(S) = 1 − Σ_{j∈S} f(j | S∖{j}) / Σ_{j∈S} f({j})`.
+pub fn average_curvature<F: SetFunction + ?Sized>(f: &F, s: &BitSet) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for j in s.iter() {
+        num += f.marginal(j, &s.without(j));
+        den += f.singleton(j);
+    }
+    if den <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - num / den).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{CoverageFunction, ModularFunction, SumFunction};
+    use proptest::prelude::*;
+
+    #[test]
+    fn modular_has_zero_curvature() {
+        let f = ModularFunction::new(vec![1.0, 3.0, 0.5]);
+        assert_eq!(total_curvature(&f), 0.0);
+        assert_eq!(curvature_wrt(&f, &BitSet::from_iter(3, [0, 2])), 0.0);
+        assert_eq!(average_curvature(&f, &BitSet::full(3)), 0.0);
+    }
+
+    #[test]
+    fn fully_overlapping_coverage_has_curvature_one() {
+        // Two elements covering the same single item: the second adds nothing.
+        let f = CoverageFunction::unit(vec![vec![0], vec![0]], 1);
+        assert_eq!(total_curvature(&f), 1.0);
+    }
+
+    #[test]
+    fn disjoint_coverage_is_modular() {
+        let f = CoverageFunction::unit(vec![vec![0], vec![1], vec![2]], 3);
+        assert_eq!(total_curvature(&f), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_strictly_between() {
+        // Element 0 covers {a,b}, element 1 covers {b,c}: overlap on b.
+        let f = CoverageFunction::unit(vec![vec![0, 1], vec![1, 2]], 3);
+        let k = total_curvature(&f);
+        assert!((k - 0.5).abs() < 1e-12, "expected 0.5, got {k}");
+    }
+
+    #[test]
+    fn adding_modular_part_lowers_curvature() {
+        // ρ = π + c: the modular incentive part dilutes curvature, which is
+        // exactly why CS-GREEDY's bound (Thm 3) behaves best for cheap seeds.
+        let pi = CoverageFunction::unit(vec![vec![0], vec![0]], 1);
+        let rho = SumFunction::new(vec![
+            Box::new(pi.clone()),
+            Box::new(ModularFunction::new(vec![1.0, 1.0])),
+        ]);
+        assert!(total_curvature(&rho) < total_curvature(&pi));
+    }
+
+    proptest! {
+        /// Iyer et al.'s chain: 0 ≤ κ̂(S) ≤ κ(S) ≤ κ(V) = κ ≤ 1.
+        #[test]
+        fn curvature_ordering(bits in prop::collection::vec(prop::bool::ANY, 5)) {
+            let f = CoverageFunction::unit(
+                vec![vec![0,1], vec![1,2], vec![2,0], vec![3], vec![1,3]], 4);
+            let s = BitSet::from_iter(5,
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i));
+            if !s.is_empty() {
+                let avg = average_curvature(&f, &s);
+                let wrt = curvature_wrt(&f, &s);
+                let tot = total_curvature(&f);
+                prop_assert!(avg <= wrt + 1e-9, "avg {avg} > wrt {wrt}");
+                prop_assert!(wrt <= tot + 1e-9, "wrt {wrt} > total {tot}");
+                prop_assert!((0.0..=1.0).contains(&avg));
+                prop_assert!((0.0..=1.0).contains(&tot));
+            }
+        }
+    }
+}

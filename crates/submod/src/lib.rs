@@ -1,0 +1,29 @@
+//! # rm-submod — submodular optimization framework
+//!
+//! The combinatorial backbone of the paper's §3: monotone submodular
+//! function maximization subject to a **partition matroid** (each user
+//! endorses at most one ad) and **submodular knapsack** constraints (one per
+//! advertiser budget).
+//!
+//! This crate is deliberately independent of graphs and diffusion: it works
+//! over abstract [`SetFunction`]s so the theory (curvature, independence
+//! systems, approximation bounds, brute-force optima) can be unit-tested
+//! exhaustively on small ground sets and reused by `rm-core` for the exact
+//! CA-GREEDY / CS-GREEDY reference algorithms.
+
+pub mod bitset;
+pub mod bounds;
+pub mod curvature;
+pub mod exact;
+pub mod function;
+pub mod greedy;
+pub mod matroid;
+pub mod problem;
+
+pub use bitset::BitSet;
+pub use bounds::{theorem2_bound, theorem3_bound, theorem4_deterioration};
+pub use curvature::{average_curvature, curvature_wrt, total_curvature};
+pub use function::{CoverageFunction, ModularFunction, ScaledFunction, SetFunction, SumFunction};
+pub use greedy::{ca_greedy, cs_greedy, GreedyTrace};
+pub use matroid::{Matroid, PartitionMatroid, UniformMatroid};
+pub use problem::{Allocation, RmProblem};

@@ -1,0 +1,197 @@
+//! Matroids and the paper's partition-matroid encoding (Lemma 1).
+//!
+//! The disjointness constraint "each user is seed for at most one ad" is a
+//! partition matroid over the ground set `E = V × A` of (node, advertiser)
+//! pairs, with one part per node and capacity 1 ([`PartitionMatroid::rm`]).
+
+use crate::bitset::BitSet;
+
+/// A matroid over `{0, .., ground_size-1}` described by its independence
+/// oracle.
+pub trait Matroid {
+    /// Ground-set size.
+    fn ground_size(&self) -> usize;
+
+    /// Independence test.
+    fn is_independent(&self, s: &BitSet) -> bool;
+
+    /// True if `s ∪ {x}` is independent (override for incremental speed).
+    fn can_extend(&self, s: &BitSet, x: usize) -> bool {
+        if s.contains(x) {
+            return false;
+        }
+        self.is_independent(&s.with(x))
+    }
+
+    /// Matroid rank of the full ground set (size of any basis), computed by
+    /// the greedy basis construction.
+    fn rank(&self) -> usize {
+        let mut s = BitSet::new(self.ground_size());
+        for x in 0..self.ground_size() {
+            if self.can_extend(&s, x) {
+                s.insert(x);
+            }
+        }
+        s.len()
+    }
+}
+
+/// Partition matroid: ground set split into parts, each with a capacity.
+#[derive(Clone, Debug)]
+pub struct PartitionMatroid {
+    part_of: Vec<usize>,
+    capacity: Vec<usize>,
+}
+
+impl PartitionMatroid {
+    /// `part_of[x]` is the part of element `x`; `capacity[p]` bounds how many
+    /// elements of part `p` an independent set may contain.
+    pub fn new(part_of: Vec<usize>, capacity: Vec<usize>) -> Self {
+        assert!(part_of.iter().all(|&p| p < capacity.len()), "part id out of range");
+        PartitionMatroid { part_of, capacity }
+    }
+
+    /// The RM disjointness matroid (Lemma 1): elements are (node, ad) pairs
+    /// encoded `x = node * h + ad`; parts are nodes; every capacity is 1.
+    pub fn rm(n: usize, h: usize) -> Self {
+        let part_of = (0..n * h).map(|x| x / h).collect();
+        PartitionMatroid { part_of, capacity: vec![1; n] }
+    }
+
+    /// Part of element `x`.
+    pub fn part(&self, x: usize) -> usize {
+        self.part_of[x]
+    }
+}
+
+impl Matroid for PartitionMatroid {
+    fn ground_size(&self) -> usize {
+        self.part_of.len()
+    }
+
+    fn is_independent(&self, s: &BitSet) -> bool {
+        let mut used = vec![0usize; self.capacity.len()];
+        for x in s.iter() {
+            let p = self.part_of[x];
+            used[p] += 1;
+            if used[p] > self.capacity[p] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn can_extend(&self, s: &BitSet, x: usize) -> bool {
+        if s.contains(x) {
+            return false;
+        }
+        let p = self.part_of[x];
+        let used = s.iter().filter(|&y| self.part_of[y] == p).count();
+        used < self.capacity[p]
+    }
+}
+
+/// Uniform matroid: sets of size ≤ k are independent (classic IM's
+/// cardinality constraint).
+#[derive(Clone, Copy, Debug)]
+pub struct UniformMatroid {
+    n: usize,
+    k: usize,
+}
+
+impl UniformMatroid {
+    /// Over `n` elements with rank `k`.
+    pub fn new(n: usize, k: usize) -> Self {
+        UniformMatroid { n, k }
+    }
+}
+
+impl Matroid for UniformMatroid {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+    fn is_independent(&self, s: &BitSet) -> bool {
+        s.len() <= self.k
+    }
+    fn can_extend(&self, s: &BitSet, x: usize) -> bool {
+        !s.contains(x) && s.len() < self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_capacity_respected() {
+        // Two parts {0,1} and {2,3}, capacities 1 and 2.
+        let m = PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 2]);
+        assert!(m.is_independent(&BitSet::from_iter(4, [0, 2, 3])));
+        assert!(!m.is_independent(&BitSet::from_iter(4, [0, 1])));
+        assert!(m.can_extend(&BitSet::from_iter(4, [2]), 3));
+        assert!(!m.can_extend(&BitSet::from_iter(4, [0]), 1));
+        assert_eq!(m.rank(), 3);
+    }
+
+    #[test]
+    fn rm_matroid_encodes_disjointness() {
+        let n = 3;
+        let h = 2;
+        let m = PartitionMatroid::rm(n, h);
+        // Node 1 assigned to both ads -> dependent.
+        let bad = BitSet::from_iter(n * h, [h, h + 1]);
+        assert!(!m.is_independent(&bad));
+        // Each node to at most one ad -> independent.
+        let good = BitSet::from_iter(n * h, [1, h, 2 * h + 1]);
+        assert!(m.is_independent(&good));
+        assert_eq!(m.rank(), n);
+    }
+
+    #[test]
+    fn uniform_matroid() {
+        let m = UniformMatroid::new(5, 2);
+        assert!(m.is_independent(&BitSet::from_iter(5, [0, 4])));
+        assert!(!m.is_independent(&BitSet::from_iter(5, [0, 1, 2])));
+        assert_eq!(m.rank(), 2);
+    }
+
+    fn arb_subset(n: usize) -> impl Strategy<Value = BitSet> {
+        prop::collection::vec(prop::bool::ANY, n).prop_map(move |bits| {
+            BitSet::from_iter(n, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i))
+        })
+    }
+
+    proptest! {
+        /// Downward closure: any subset of an independent set is independent.
+        #[test]
+        fn downward_closure(s in arb_subset(8), t in arb_subset(8)) {
+            let m = PartitionMatroid::rm(4, 2);
+            // intersect: t' = s ∩ t ⊆ s
+            let inter = BitSet::from_iter(8, s.iter().filter(|&x| t.contains(x)));
+            if m.is_independent(&s) {
+                prop_assert!(m.is_independent(&inter));
+            }
+        }
+
+        /// Augmentation: |Y| > |X|, both independent ⇒ some e ∈ Y\X extends X.
+        #[test]
+        fn augmentation(x in arb_subset(8), y in arb_subset(8)) {
+            let m = PartitionMatroid::rm(4, 2);
+            if m.is_independent(&x) && m.is_independent(&y) && y.len() > x.len() {
+                let found = y.iter().filter(|&e| !x.contains(e)).any(|e| m.can_extend(&x, e));
+                prop_assert!(found, "augmentation axiom violated: X={:?} Y={:?}",
+                    x.iter().collect::<Vec<_>>(), y.iter().collect::<Vec<_>>());
+            }
+        }
+
+        /// can_extend agrees with is_independent on the extended set.
+        #[test]
+        fn extend_consistency(s in arb_subset(8), e in 0usize..8) {
+            let m = PartitionMatroid::new(vec![0,0,1,1,2,2,3,3], vec![2,1,2,1]);
+            if m.is_independent(&s) && !s.contains(e) {
+                prop_assert_eq!(m.can_extend(&s, e), m.is_independent(&s.with(e)));
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The exact (oracle-based) RM problem: Problem 1 of the paper over abstract
+//! revenue functions.
+//!
+//! Ground set: (node, advertiser) pairs. Constraints: the partition matroid
+//! of Lemma 1 (each node in at most one seed set) and one submodular knapsack
+//! per advertiser, `ρ_i(S_i) = π_i(S_i) + Σ_{u∈S_i} c_i(u) ≤ B_i`.
+//!
+//! This layer is exact and exponential-free only in its *representation*; the
+//! scalable RR-set realizations live in `rm-core`. It exists so that small
+//! instances (including the paper's Figure 1 gadget) can be solved and
+//! verified against brute force, curvatures, ranks and the Theorem 2/3
+//! bounds.
+
+use crate::bitset::BitSet;
+use crate::function::SetFunction;
+
+/// A revenue function for one advertiser over the node ground set.
+pub type RevenueFn = Box<dyn SetFunction + Send + Sync>;
+
+/// An allocation: one seed set (node list) per advertiser.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allocation {
+    /// `seed_sets[i]` = seeds of advertiser `i`.
+    pub seed_sets: Vec<Vec<usize>>,
+}
+
+impl Allocation {
+    /// Empty allocation for `h` advertisers.
+    pub fn empty(h: usize) -> Self {
+        Allocation { seed_sets: vec![Vec::new(); h] }
+    }
+
+    /// Total number of seeds across advertisers.
+    pub fn num_seeds(&self) -> usize {
+        self.seed_sets.iter().map(Vec::len).sum()
+    }
+
+    /// True if no node appears in two different seed sets (or twice).
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for set in &self.seed_sets {
+            for &u in set {
+                if !seen.insert(u) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exact RM problem instance.
+pub struct RmProblem {
+    n: usize,
+    revenue: Vec<RevenueFn>,
+    /// `cost[i][u]` — incentive of node `u` for ad `i` (modular).
+    cost: Vec<Vec<f64>>,
+    budgets: Vec<f64>,
+}
+
+impl RmProblem {
+    /// Builds an instance. All revenue functions must share the node ground
+    /// set; costs must be non-negative; budgets positive.
+    pub fn new(revenue: Vec<RevenueFn>, cost: Vec<Vec<f64>>, budgets: Vec<f64>) -> Self {
+        let h = revenue.len();
+        assert!(h > 0, "need at least one advertiser");
+        assert_eq!(cost.len(), h);
+        assert_eq!(budgets.len(), h);
+        let n = revenue[0].ground_size();
+        assert!(revenue.iter().all(|f| f.ground_size() == n));
+        assert!(cost.iter().all(|c| c.len() == n && c.iter().all(|&x| x >= 0.0)));
+        assert!(budgets.iter().all(|&b| b > 0.0));
+        RmProblem { n, revenue, cost, budgets }
+    }
+
+    /// Number of candidate nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of advertisers `h`.
+    pub fn num_ads(&self) -> usize {
+        self.revenue.len()
+    }
+
+    /// Advertiser budgets.
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// Incentive `c_i(u)`.
+    pub fn cost_of(&self, i: usize, u: usize) -> f64 {
+        self.cost[i][u]
+    }
+
+    /// Revenue `π_i(S)`.
+    pub fn revenue_of(&self, i: usize, s: &BitSet) -> f64 {
+        self.revenue[i].eval(s)
+    }
+
+    /// Marginal revenue `π_i(u | S)`.
+    pub fn revenue_marginal(&self, i: usize, u: usize, s: &BitSet) -> f64 {
+        self.revenue[i].marginal(u, s)
+    }
+
+    /// Payment `ρ_i(S) = π_i(S) + Σ_{u∈S} c_i(u)`.
+    pub fn payment_of(&self, i: usize, s: &BitSet) -> f64 {
+        self.revenue_of(i, s) + s.iter().map(|u| self.cost[i][u]).sum::<f64>()
+    }
+
+    /// Marginal payment `ρ_i(u | S) = π_i(u | S) + c_i(u)`.
+    pub fn payment_marginal(&self, i: usize, u: usize, s: &BitSet) -> f64 {
+        if s.contains(u) {
+            return 0.0;
+        }
+        self.revenue_marginal(i, u, s) + self.cost[i][u]
+    }
+
+    /// Total host revenue `π(S⃗) = Σ_i π_i(S_i)`.
+    pub fn total_revenue(&self, alloc: &Allocation) -> f64 {
+        assert_eq!(alloc.seed_sets.len(), self.num_ads());
+        alloc
+            .seed_sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| self.revenue_of(i, &BitSet::from_iter(self.n, set.iter().copied())))
+            .sum()
+    }
+
+    /// Total seeding (incentive) cost `Σ_i c_i(S_i)`.
+    pub fn total_seeding_cost(&self, alloc: &Allocation) -> f64 {
+        alloc
+            .seed_sets
+            .iter()
+            .enumerate()
+            .map(|(i, set)| set.iter().map(|&u| self.cost[i][u]).sum::<f64>())
+            .sum()
+    }
+
+    /// Feasibility: pairwise-disjoint seed sets and every budget respected.
+    pub fn is_feasible(&self, alloc: &Allocation) -> bool {
+        if alloc.seed_sets.len() != self.num_ads() || !alloc.is_disjoint() {
+            return false;
+        }
+        alloc.seed_sets.iter().enumerate().all(|(i, set)| {
+            let s = BitSet::from_iter(self.n, set.iter().copied());
+            self.payment_of(i, &s) <= self.budgets[i] + 1e-9
+        })
+    }
+
+    /// Total curvature `κ_π` of the total revenue function (Observation 1):
+    /// `1 − min_{(u,i)} π_i(u | V∖{u}) / π_i({u})`, skipping zero singletons.
+    pub fn pi_curvature(&self) -> f64 {
+        let mut min_ratio = 1.0f64;
+        let full = BitSet::full(self.n);
+        for (i, f) in self.revenue.iter().enumerate() {
+            let _ = i;
+            for u in 0..self.n {
+                let single = f.singleton(u);
+                if single <= 0.0 {
+                    continue;
+                }
+                let ratio = f.marginal(u, &full.without(u)) / single;
+                min_ratio = min_ratio.min(ratio);
+            }
+        }
+        (1.0 - min_ratio).clamp(0.0, 1.0)
+    }
+
+    /// Maximum total curvature of the payment functions, `max_i κ_{ρ_i}`
+    /// (Theorem 3's curvature term).
+    pub fn rho_curvature_max(&self) -> f64 {
+        let full = BitSet::full(self.n);
+        let mut max_kappa = 0.0f64;
+        for i in 0..self.num_ads() {
+            let mut min_ratio = 1.0f64;
+            for u in 0..self.n {
+                let single = self.payment_of(i, &BitSet::from_iter(self.n, [u]));
+                if single <= 0.0 {
+                    continue;
+                }
+                let ratio = self.payment_marginal(i, u, &full.without(u)) / single;
+                min_ratio = min_ratio.min(ratio);
+            }
+            max_kappa = max_kappa.max((1.0 - min_ratio).clamp(0.0, 1.0));
+        }
+        max_kappa
+    }
+
+    /// Extreme singleton payments `(ρ_min, ρ_max)` over all (node, ad) pairs
+    /// (Theorem 3's payment spread).
+    pub fn singleton_payment_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for i in 0..self.num_ads() {
+            for u in 0..self.n {
+                let p = self.payment_of(i, &BitSet::from_iter(self.n, [u]));
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{CoverageFunction, ScaledFunction};
+
+    fn two_ad_problem() -> RmProblem {
+        // π_i = cpe · coverage over 3 items; nodes 0,1,2.
+        let cov = |sets: Vec<Vec<u32>>| CoverageFunction::unit(sets, 3);
+        let revenue: Vec<RevenueFn> = vec![
+            Box::new(ScaledFunction::new(cov(vec![vec![0, 1], vec![1], vec![2]]), 1.0)),
+            Box::new(ScaledFunction::new(cov(vec![vec![0], vec![0, 1, 2], vec![2]]), 2.0)),
+        ];
+        let cost = vec![vec![0.5, 0.2, 0.1], vec![1.0, 2.0, 0.3]];
+        RmProblem::new(revenue, cost, vec![3.0, 5.0])
+    }
+
+    #[test]
+    fn payments_add_costs() {
+        let p = two_ad_problem();
+        let s = BitSet::from_iter(3, [0, 2]);
+        // ad 0: π = |{0,1,2}| ... covers items {0,1} ∪ {2} = 3; cost 0.6.
+        assert!((p.payment_of(0, &s) - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_checks_disjointness_and_budget() {
+        let p = two_ad_problem();
+        // ad 0 seed {0}: π = 2, cost 0.5 → ρ = 2.5 ≤ 3.
+        // ad 1 seed {2}: π = 2·1, cost 0.3 → ρ = 2.3 ≤ 5.
+        let ok = Allocation { seed_sets: vec![vec![0], vec![2]] };
+        assert!(p.is_feasible(&ok));
+        let overlap = Allocation { seed_sets: vec![vec![0], vec![0]] };
+        assert!(!p.is_feasible(&overlap));
+        let busted = Allocation { seed_sets: vec![vec![0, 1, 2], vec![]] };
+        // ad 0 payment: π=3 + cost 0.8 = 3.8 > 3.
+        assert!(!p.is_feasible(&busted));
+    }
+
+    #[test]
+    fn totals() {
+        let p = two_ad_problem();
+        let a = Allocation { seed_sets: vec![vec![2], vec![1]] };
+        // π_0({2}) = 1, π_1({1}) = 2*3 = 6.
+        assert!((p.total_revenue(&a) - 7.0).abs() < 1e-12);
+        assert!((p.total_seeding_cost(&a) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curvatures_in_range() {
+        let p = two_ad_problem();
+        let k = p.pi_curvature();
+        assert!((0.0..=1.0).contains(&k));
+        let kr = p.rho_curvature_max();
+        assert!((0.0..=1.0).contains(&kr));
+        // Payments include a modular part, so ρ curvature < π curvature here.
+        assert!(kr <= k + 1e-12);
+    }
+
+    #[test]
+    fn payment_range() {
+        let p = two_ad_problem();
+        let (lo, hi) = p.singleton_payment_range();
+        assert!(lo > 0.0 && hi >= lo);
+    }
+}

@@ -1,0 +1,101 @@
+//! Scalability probe: runtime and RR-index memory of TI-CSRM / TI-CARM as
+//! the graph and the advertiser count grow (the paper's Fig. 5 / Table 3
+//! methodology at laptop scale).
+//!
+//! ```text
+//! cargo run --release --example scalability_probe
+//! ```
+
+use std::sync::Arc;
+
+use rand::{rngs::SmallRng, SeedableRng};
+use revmax::prelude::*;
+
+fn run(kind: AlgorithmKind, inst: &RmInstance) -> RunStats {
+    let cfg = ScalableConfig {
+        epsilon: 0.3,
+        window: Window::Size(5_000),
+        max_sets_per_ad: 1_000_000,
+        ..Default::default()
+    };
+    let (_, stats) = TiEngine::new(inst, kind, cfg).run();
+    stats
+}
+
+fn main() {
+    println!("== runtime vs graph size (h = 3, WC model, degree-proxy incentives) ==");
+    println!(
+        "{:>8} {:>9} | {:>12} {:>12} | {:>12} {:>12}",
+        "nodes", "arcs", "CSRM t(s)", "CSRM MiB", "CARM t(s)", "CARM MiB"
+    );
+    for &n in &[2_000usize, 8_000, 32_000] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let graph = Arc::new(revmax::graph::generators::chung_lu_directed(
+            n,
+            8 * n,
+            2.3,
+            &mut rng,
+        ));
+        let tic = TicModel::weighted_cascade(&graph);
+        let ads = (0..3)
+            .map(|_| Advertiser::new(1.0, 0.02 * n as f64, TopicDistribution::uniform(1)))
+            .collect();
+        let inst = RmInstance::build(
+            graph.clone(),
+            &tic,
+            ads,
+            IncentiveModel::Linear { alpha: 0.2 },
+            SingletonMethod::OutDegree,
+            3,
+        );
+        let cs = run(AlgorithmKind::TiCsrm, &inst);
+        let ca = run(AlgorithmKind::TiCarm, &inst);
+        println!(
+            "{:>8} {:>9} | {:>12.2} {:>12.1} | {:>12.2} {:>12.1}",
+            n,
+            graph.num_edges(),
+            cs.elapsed.as_secs_f64(),
+            cs.rr_memory_bytes as f64 / (1024.0 * 1024.0),
+            ca.elapsed.as_secs_f64(),
+            ca.rr_memory_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    println!("\n== runtime vs number of advertisers (16K-node graph) ==");
+    let mut rng = SmallRng::seed_from_u64(99);
+    let graph = Arc::new(revmax::graph::generators::chung_lu_directed(
+        16_000, 128_000, 2.3, &mut rng,
+    ));
+    let tic = TicModel::weighted_cascade(&graph);
+    println!(
+        "{:>4} | {:>12} {:>12} | {:>12} {:>12}",
+        "h", "CSRM t(s)", "CSRM MiB", "CARM t(s)", "CARM MiB"
+    );
+    for &h in &[1usize, 2, 4, 8] {
+        let ads = (0..h)
+            .map(|_| Advertiser::new(1.0, 250.0, TopicDistribution::uniform(1)))
+            .collect();
+        let inst = RmInstance::build(
+            graph.clone(),
+            &tic,
+            ads,
+            IncentiveModel::Linear { alpha: 0.2 },
+            SingletonMethod::OutDegree,
+            4,
+        );
+        let cs = run(AlgorithmKind::TiCsrm, &inst);
+        let ca = run(AlgorithmKind::TiCarm, &inst);
+        println!(
+            "{:>4} | {:>12.2} {:>12.1} | {:>12.2} {:>12.1}",
+            h,
+            cs.elapsed.as_secs_f64(),
+            cs.rr_memory_bytes as f64 / (1024.0 * 1024.0),
+            ca.elapsed.as_secs_f64(),
+            ca.rr_memory_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!(
+        "\nShape check (paper Fig. 5 / Table 3): runtime and memory grow roughly \
+         linearly in h; TI-CSRM uses somewhat more memory than TI-CARM."
+    );
+}

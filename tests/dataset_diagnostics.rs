@@ -1,0 +1,51 @@
+//! Sanity diagnostics for the synthetic datasets: the RM algorithms assume a
+//! dominant weak component (cascades cannot escape one) and truncated
+//! degree tails (budgets must be able to afford hub payments).
+
+use revmax::graph::components::{largest_component_size, weakly_connected_components};
+use revmax::graph::degree;
+use revmax::prelude::SyntheticDataset;
+
+#[test]
+fn quality_datasets_have_a_giant_component() {
+    for ds in [SyntheticDataset::FlixsterLike, SyntheticDataset::EpinionsLike] {
+        let g = ds.generate(0.05, 9);
+        let wcc = weakly_connected_components(&g);
+        let giant = largest_component_size(&wcc);
+        assert!(
+            giant as f64 > 0.5 * g.num_nodes() as f64,
+            "{ds}: giant component {giant} of {} too small",
+            g.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn degree_tails_are_heavy_but_truncated() {
+    for ds in SyntheticDataset::ALL {
+        let scale = if ds == SyntheticDataset::LiveJournalLike { 0.005 } else { 0.05 };
+        let g = ds.generate(scale, 4);
+        let st = degree::out_degree_stats(&g);
+        // Heavy tail: top 1% of nodes hold well over 1% of edges.
+        assert!(
+            st.top1_share > 0.025,
+            "{ds}: top-1% share {} too light",
+            st.top1_share
+        );
+        // Truncated: no node exceeds ~4% of n (2% cap + sampling noise).
+        assert!(
+            (st.max as f64) < 0.04 * g.num_nodes() as f64 + 16.0,
+            "{ds}: max degree {} vs n {} — mega-hub regression",
+            st.max,
+            g.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn undirected_dataset_symmetry_survives_scaling() {
+    let g = SyntheticDataset::DblpLike.generate(0.004, 11);
+    for (_, u, v) in g.edges() {
+        assert!(g.out_neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Full-pipeline integration tests on mid-size synthetic instances:
+//! dataset generation → TIC → incentives → scalable algorithms → independent
+//! evaluation, with the paper's qualitative claims as assertions.
+
+use std::sync::Arc;
+
+use rand::{rngs::SmallRng, SeedableRng};
+
+use revmax::diffusion::{TicModel, TopicDistribution};
+use revmax::prelude::*;
+
+fn build_instance(alpha: f64, model: fn(f64) -> IncentiveModel, seed: u64) -> RmInstance {
+    let g = Arc::new(SyntheticDataset::EpinionsLike.generate(0.01, seed));
+    let tic = TicModel::weighted_cascade(&g);
+    let h = 4;
+    let ads = (0..h)
+        .map(|i| {
+            Advertiser::new(
+                if i % 2 == 0 { 1.0 } else { 2.0 },
+                700.0 + 100.0 * (i % 2) as f64,
+                TopicDistribution::uniform(1),
+            )
+        })
+        .collect();
+    RmInstance::build(
+        g,
+        &tic,
+        ads,
+        model(alpha),
+        SingletonMethod::RrEstimate { theta: 40_000 },
+        seed ^ 0xF00D,
+    )
+}
+
+fn cfg(seed: u64) -> ScalableConfig {
+    ScalableConfig { epsilon: 0.3, max_sets_per_ad: 400_000, seed, ..Default::default() }
+}
+
+#[test]
+fn all_algorithms_feasible_and_disjoint_on_epinions_like() {
+    let inst = build_instance(0.3, |a| IncentiveModel::Linear { alpha: a }, 1);
+    for kind in [
+        AlgorithmKind::TiCsrm,
+        AlgorithmKind::TiCarm,
+        AlgorithmKind::PageRankGr,
+        AlgorithmKind::PageRankRr,
+    ] {
+        let (alloc, stats) = TiEngine::new(&inst, kind, cfg(5)).run();
+        assert!(alloc.is_disjoint(), "{}: overlap", kind.name());
+        assert!(alloc.num_seeds() > 0, "{}: empty allocation", kind.name());
+        for i in 0..inst.num_ads() {
+            let rho = stats.revenue_per_ad[i] + stats.seeding_cost_per_ad[i];
+            assert!(
+                rho <= inst.ads[i].budget * (1.0 + 1e-6),
+                "{} ad {i}: ρ {rho} > B {}",
+                kind.name(),
+                inst.ads[i].budget
+            );
+        }
+    }
+}
+
+#[test]
+fn revenue_decreases_as_alpha_increases() {
+    // Paper Fig. 2: pricier incentives squeeze the budget and revenue falls.
+    let mut prev = f64::INFINITY;
+    for alpha in [0.1, 0.5, 2.0] {
+        let inst = build_instance(alpha, |a| IncentiveModel::Linear { alpha: a }, 3);
+        let (alloc, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg(7)).run();
+        let rev = evaluate_allocation(&inst, &alloc, EvalMethod::RrSets { theta: 60_000 }, 9)
+            .total_revenue();
+        assert!(
+            rev <= prev * 1.1,
+            "revenue should not grow materially with α: {rev} after {prev}"
+        );
+        prev = rev;
+    }
+}
+
+#[test]
+fn seeding_cost_grows_with_superlinear_pricing() {
+    // Superlinear incentives make hubs disproportionately expensive: the
+    // cost-sensitive algorithm's advantage over cost-agnostic widens.
+    let linear = build_instance(0.3, |a| IncentiveModel::Linear { alpha: a }, 11);
+    let superl = build_instance(0.002, |a| IncentiveModel::Superlinear { alpha: a }, 11);
+    for inst in [&linear, &superl] {
+        let (cs, _) = TiEngine::new(inst, AlgorithmKind::TiCsrm, cfg(13)).run();
+        let (ca, _) = TiEngine::new(inst, AlgorithmKind::TiCarm, cfg(13)).run();
+        let eval = EvalMethod::RrSets { theta: 60_000 };
+        let cs_cost = evaluate_allocation(inst, &cs, eval, 1).total_seeding_cost();
+        let ca_cost = evaluate_allocation(inst, &ca, eval, 1).total_seeding_cost();
+        if ca.num_seeds() > 0 && cs.num_seeds() > 0 {
+            assert!(
+                cs_cost <= ca_cost * 1.05 + 1.0,
+                "cost-sensitive spend {cs_cost} above cost-agnostic {ca_cost}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_across_full_pipeline() {
+    let inst = build_instance(0.3, |a| IncentiveModel::Linear { alpha: a }, 21);
+    let run = || {
+        let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg(23)).run();
+        (alloc, stats.total_revenue())
+    };
+    let (a1, r1) = run();
+    let (a2, r2) = run();
+    assert_eq!(a1, a2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn flixster_like_topical_marketplace_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let g = Arc::new(SyntheticDataset::FlixsterLike.generate(0.01, 31));
+    let l = 10;
+    let tic = TicModel::topical(&g, l, Default::default(), &mut rng);
+    let topics = TopicDistribution::competition_pairs(6, l, 0.91, &mut rng);
+    let ads: Vec<Advertiser> = topics
+        .into_iter()
+        .map(|t| Advertiser::new(1.0, 25.0, t))
+        .collect();
+    let inst = RmInstance::build(
+        g,
+        &tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.2 },
+        SingletonMethod::RrEstimate { theta: 30_000 },
+        33,
+    );
+    // Competing pairs get *different* probability storage only when topics
+    // differ; paired ads share.
+    assert!(inst.ad_probs[0].shares_storage(&inst.ad_probs[1]));
+    assert!(!inst.ad_probs[0].shares_storage(&inst.ad_probs[2]));
+
+    let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg(35)).run();
+    assert!(alloc.is_disjoint());
+    assert!(stats.total_revenue() > 0.0);
+    // Every ad should obtain at least one seed under these budgets.
+    assert!(
+        stats.seeds_per_ad.iter().all(|&s| s > 0),
+        "some ad starved: {:?}",
+        stats.seeds_per_ad
+    );
+}
