@@ -14,20 +14,39 @@ fn bench_engine(c: &mut Criterion) {
         0.02,
         1,
     );
-    let cfg = ScalableConfig { epsilon: 0.3, max_sets_per_ad: 500_000, ..Default::default() };
+    let cfg = ScalableConfig {
+        epsilon: 0.3,
+        max_sets_per_ad: 500_000,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("engine");
     group.measurement_time(std::time::Duration::from_secs(5));
     group.sample_size(10);
     group.bench_function("ti_csrm", |b| {
-        b.iter(|| TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run().1.rounds)
+        b.iter(|| {
+            TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg)
+                .run()
+                .1
+                .rounds
+        })
     });
     group.bench_function("ti_carm", |b| {
-        b.iter(|| TiEngine::new(&inst, AlgorithmKind::TiCarm, cfg).run().1.rounds)
+        b.iter(|| {
+            TiEngine::new(&inst, AlgorithmKind::TiCarm, cfg)
+                .run()
+                .1
+                .rounds
+        })
     });
     let eager = ScalableConfig { lazy: false, ..cfg };
     group.bench_function("ti_csrm_eager", |b| {
-        b.iter(|| TiEngine::new(&inst, AlgorithmKind::TiCsrm, eager).run().1.rounds)
+        b.iter(|| {
+            TiEngine::new(&inst, AlgorithmKind::TiCsrm, eager)
+                .run()
+                .1
+                .rounds
+        })
     });
     group.finish();
 }

@@ -29,12 +29,19 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 0.1, seed: 20_170_419, quick: false, paper_eps: false }
+        Opts {
+            scale: 0.1,
+            seed: 20_170_419,
+            quick: false,
+            paper_eps: false,
+        }
     }
 }
 
-const QUALITY_DATASETS: [SyntheticDataset; 2] =
-    [SyntheticDataset::FlixsterLike, SyntheticDataset::EpinionsLike];
+const QUALITY_DATASETS: [SyntheticDataset; 2] = [
+    SyntheticDataset::FlixsterLike,
+    SyntheticDataset::EpinionsLike,
+];
 
 const ALGOS: [AlgorithmKind; 4] = [
     AlgorithmKind::TiCsrm,
@@ -51,7 +58,15 @@ fn eval_theta(inst: &RmInstance) -> usize {
 pub fn table1(opts: Opts) {
     let mut t = Table::new(
         "table1_datasets",
-        &["dataset", "paper_nodes", "paper_edges", "type", "gen_nodes", "gen_edges", "gen_max_outdeg"],
+        &[
+            "dataset",
+            "paper_nodes",
+            "paper_edges",
+            "type",
+            "gen_nodes",
+            "gen_edges",
+            "gen_max_outdeg",
+        ],
     );
     for ds in SyntheticDataset::ALL {
         // LiveJournal-like at a further 1/10 of the requested scale so the
@@ -64,7 +79,11 @@ pub fn table1(opts: Opts) {
             spec.name.into(),
             spec.paper_nodes.to_string(),
             spec.paper_edges.to_string(),
-            if spec.directed { "directed".into() } else { "undirected".into() },
+            if spec.directed {
+                "directed".into()
+            } else {
+                "undirected".into()
+            },
             g.num_nodes().to_string(),
             g.num_edges().to_string(),
             st.max.to_string(),
@@ -85,7 +104,15 @@ fn lj_scale(ds: SyntheticDataset, scale: f64) -> f64 {
 pub fn table2(opts: Opts) {
     let mut t = Table::new(
         "table2_terms",
-        &["dataset", "budget_mean", "budget_max", "budget_min", "cpe_mean", "cpe_max", "cpe_min"],
+        &[
+            "dataset",
+            "budget_mean",
+            "budget_max",
+            "budget_min",
+            "cpe_mean",
+            "cpe_max",
+            "cpe_min",
+        ],
     );
     for ds in QUALITY_DATASETS {
         let terms = setup::table2_terms(ds, 10, opts.scale);
@@ -144,11 +171,27 @@ pub fn fig1(_opts: Opts) {
 pub fn fig2_fig3(opts: Opts) {
     let mut rev = Table::new(
         "fig2_revenue_vs_alpha",
-        &["dataset", "model", "alpha", "algorithm", "revenue", "seeds", "time_s"],
+        &[
+            "dataset",
+            "model",
+            "alpha",
+            "algorithm",
+            "revenue",
+            "seeds",
+            "time_s",
+        ],
     );
     let mut cost = Table::new(
         "fig3_seeding_cost_vs_alpha",
-        &["dataset", "model", "alpha", "algorithm", "seeding_cost", "seeds", "time_s"],
+        &[
+            "dataset",
+            "model",
+            "alpha",
+            "algorithm",
+            "seeding_cost",
+            "seeds",
+            "time_s",
+        ],
     );
     let h = 10;
     for ds in QUALITY_DATASETS {
@@ -160,7 +203,9 @@ pub fn fig2_fig3(opts: Opts) {
             }
             for alpha in grid {
                 let inst = ctx.instance(model.at(alpha));
-                let eval = EvalMethod::RrSets { theta: eval_theta(&inst) };
+                let eval = EvalMethod::RrSets {
+                    theta: eval_theta(&inst),
+                };
                 for kind in ALGOS {
                     let cfg = quality_config(opts.seed, opts.paper_eps);
                     let (alloc, stats) = TiEngine::new(&inst, kind, cfg).run();
@@ -186,10 +231,7 @@ pub fn fig2_fig3(opts: Opts) {
                     ]);
                     cost.push(r2);
                 }
-                println!(
-                    "[fig2/3] {ds} {} α={alpha} done",
-                    model.name()
-                );
+                println!("[fig2/3] {ds} {} α={alpha} done", model.name());
             }
         }
     }
@@ -201,7 +243,15 @@ pub fn fig2_fig3(opts: Opts) {
 pub fn fig4(opts: Opts) {
     let mut t = Table::new(
         "fig4_window_tradeoff",
-        &["dataset", "alpha", "window", "revenue", "time_s", "seeds", "theta_total"],
+        &[
+            "dataset",
+            "alpha",
+            "window",
+            "revenue",
+            "time_s",
+            "seeds",
+            "theta_total",
+        ],
     );
     let h = 10;
     let windows: Vec<Option<usize>> = if opts.quick {
@@ -223,7 +273,9 @@ pub fn fig4(opts: Opts) {
         let ctx = setup::QualityContext::new(ds, h, opts.scale, opts.seed);
         for alpha in [0.2, 0.5] {
             let inst = ctx.instance(ModelKind::Linear.at(alpha));
-            let eval = EvalMethod::RrSets { theta: eval_theta(&inst) };
+            let eval = EvalMethod::RrSets {
+                theta: eval_theta(&inst),
+            };
             for w in &windows {
                 let mut cfg = quality_config(opts.seed, opts.paper_eps);
                 cfg.window = match w {
@@ -257,16 +309,38 @@ pub fn fig5_table3(opts: Opts) {
     );
     let mut mem = Table::new(
         "table3_memory_vs_h",
-        &["dataset", "h", "algorithm", "memory_gib", "theta_total", "seeds"],
+        &[
+            "dataset",
+            "h",
+            "algorithm",
+            "memory_gib",
+            "theta_total",
+            "seeds",
+        ],
     );
     let mut time_b = Table::new(
         "fig5_runtime_vs_budget",
-        &["dataset", "budget", "algorithm", "time_s", "seeds", "revenue"],
+        &[
+            "dataset",
+            "budget",
+            "algorithm",
+            "time_s",
+            "seeds",
+            "revenue",
+        ],
     );
 
-    let h_grid: Vec<usize> = if opts.quick { vec![1, 5] } else { vec![1, 5, 10, 15, 20] };
+    let h_grid: Vec<usize> = if opts.quick {
+        vec![1, 5]
+    } else {
+        vec![1, 5, 10, 15, 20]
+    };
     let cases = [
-        (SyntheticDataset::DblpLike, 10_000.0, vec![5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0, 30_000.0]),
+        (
+            SyntheticDataset::DblpLike,
+            10_000.0,
+            vec![5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0, 30_000.0],
+        ),
         (
             SyntheticDataset::LiveJournalLike,
             100_000.0,
@@ -332,7 +406,14 @@ pub fn fig5_table3(opts: Opts) {
 pub fn ablation_lazy(opts: Opts) {
     let mut t = Table::new(
         "ablation_lazy_vs_eager",
-        &["dataset", "mode", "time_s", "candidate_evals", "revenue", "seeds"],
+        &[
+            "dataset",
+            "mode",
+            "time_s",
+            "candidate_evals",
+            "revenue",
+            "seeds",
+        ],
     );
     let inst = quality_instance(
         SyntheticDataset::EpinionsLike,
@@ -342,7 +423,10 @@ pub fn ablation_lazy(opts: Opts) {
         opts.seed,
     );
     for lazy in [true, false] {
-        let cfg = ScalableConfig { lazy, ..quality_config(opts.seed, opts.paper_eps) };
+        let cfg = ScalableConfig {
+            lazy,
+            ..quality_config(opts.seed, opts.paper_eps)
+        };
         let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
         t.push(vec![
             "epinions-like".into(),
@@ -374,7 +458,9 @@ pub fn ablation_termination(opts: Opts) {
     };
     for alpha in [0.2, 0.5] {
         let inst = inst_of(alpha);
-        let eval = EvalMethod::RrSets { theta: eval_theta(&inst) };
+        let eval = EvalMethod::RrSets {
+            theta: eval_theta(&inst),
+        };
         for strict in [true, false] {
             let cfg = ScalableConfig {
                 strict_termination: strict,
@@ -385,7 +471,11 @@ pub fn ablation_termination(opts: Opts) {
             t.push(vec![
                 "epinions-like".into(),
                 format!("{alpha}"),
-                if strict { "strict (Alg.2)".into() } else { "continue (Alg.1)".into() },
+                if strict {
+                    "strict (Alg.2)".into()
+                } else {
+                    "continue (Alg.1)".into()
+                },
                 fmt(report.total_revenue()),
                 alloc.num_seeds().to_string(),
                 fmt(stats.elapsed.as_secs_f64()),
@@ -400,7 +490,13 @@ pub fn ablation_singleton(opts: Opts) {
     use rm_core::SingletonMethod;
     let mut t = Table::new(
         "ablation_singleton_method",
-        &["method", "pricing_time_s", "revenue", "seeding_cost", "seeds"],
+        &[
+            "method",
+            "pricing_time_s",
+            "revenue",
+            "seeding_cost",
+            "seeds",
+        ],
     );
     let ds = SyntheticDataset::EpinionsLike;
     let graph = std::sync::Arc::new(ds.generate(opts.scale, opts.seed));
@@ -412,8 +508,18 @@ pub fn ablation_singleton(opts: Opts) {
         })
         .collect();
     let methods: Vec<(&str, SingletonMethod)> = vec![
-        ("rr-estimate", SingletonMethod::RrEstimate { theta: graph.num_nodes() * 40 }),
-        ("monte-carlo", SingletonMethod::MonteCarlo { runs: if opts.quick { 100 } else { 1000 } }),
+        (
+            "rr-estimate",
+            SingletonMethod::RrEstimate {
+                theta: graph.num_nodes() * 40,
+            },
+        ),
+        (
+            "monte-carlo",
+            SingletonMethod::MonteCarlo {
+                runs: if opts.quick { 100 } else { 1000 },
+            },
+        ),
         ("out-degree", SingletonMethod::OutDegree),
     ];
     for (name, method) in methods {
@@ -429,7 +535,9 @@ pub fn ablation_singleton(opts: Opts) {
         let pricing = t0.elapsed().as_secs_f64();
         let cfg = quality_config(opts.seed, opts.paper_eps);
         let (alloc, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
-        let eval = EvalMethod::RrSets { theta: eval_theta(&inst) };
+        let eval = EvalMethod::RrSets {
+            theta: eval_theta(&inst),
+        };
         let report = evaluate_allocation(&inst, &alloc, eval, 5);
         t.push(vec![
             name.into(),
@@ -448,7 +556,11 @@ mod tests {
 
     #[test]
     fn quick_table_experiments_run() {
-        let opts = Opts { scale: 0.004, quick: true, ..Default::default() };
+        let opts = Opts {
+            scale: 0.004,
+            quick: true,
+            ..Default::default()
+        };
         table1(opts);
         table2(opts);
         fig1(opts);

@@ -26,7 +26,12 @@ impl Table {
 
     /// Appends a row (panics on column-count mismatch).
     pub fn push(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row shape mismatch in {}", self.name);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row shape mismatch in {}",
+            self.name
+        );
         self.rows.push(row);
     }
 
@@ -46,7 +51,10 @@ impl Table {
             s.trim_end().to_string()
         };
         println!("{}", line(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

@@ -30,8 +30,12 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
-    pub const ALL: [ModelKind; 4] =
-        [ModelKind::Linear, ModelKind::Constant, ModelKind::Sublinear, ModelKind::Superlinear];
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Linear,
+        ModelKind::Constant,
+        ModelKind::Sublinear,
+        ModelKind::Superlinear,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -118,8 +122,7 @@ pub struct QualityContext {
 impl QualityContext {
     /// Builds the context (the expensive part: generation + pricing sample).
     pub fn new(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
-        let probe =
-            quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
+        let probe = quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
         QualityContext {
             dataset: ds,
             graph: probe.graph.clone(),
@@ -249,8 +252,14 @@ mod tests {
         let mean_b: f64 = flix.iter().map(|&(_, b)| b).sum::<f64>() / 10.0;
         let mean_cpe: f64 = flix.iter().map(|&(c, _)| c).sum::<f64>() / 10.0;
         assert!((mean_cpe - 1.5).abs() < 1e-9);
-        assert!((9_000.0..12_000.0).contains(&mean_b), "mean budget {mean_b}");
-        assert_eq!(flix.iter().map(|&(_, b)| b).fold(f64::MAX, f64::min), 6_000.0);
+        assert!(
+            (9_000.0..12_000.0).contains(&mean_b),
+            "mean budget {mean_b}"
+        );
+        assert_eq!(
+            flix.iter().map(|&(_, b)| b).fold(f64::MAX, f64::min),
+            6_000.0
+        );
         assert_eq!(flix.iter().map(|&(_, b)| b).fold(0.0, f64::max), 20_000.0);
     }
 
@@ -285,8 +294,7 @@ mod tests {
 
     #[test]
     fn scalability_instance_uses_degree_proxy() {
-        let inst =
-            scalability_instance(SyntheticDataset::DblpLike, 2, 100.0, 0.003, 2);
+        let inst = scalability_instance(SyntheticDataset::DblpLike, 2, 100.0, 0.003, 2);
         assert_eq!(inst.num_ads(), 2);
         // Degree-proxy incentives: cost of a node = α(0.2)·(outdeg+1) ≥ 0.2.
         let c0 = inst.incentives[0].cost(0);

@@ -36,7 +36,11 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { rounds: 4, seeds_per_round: 5, engine: ScalableConfig::default() }
+        AdaptiveConfig {
+            rounds: 4,
+            seeds_per_round: 5,
+            engine: ScalableConfig::default(),
+        }
     }
 }
 
@@ -109,7 +113,7 @@ pub fn run_adaptive_campaign(
 
         // Commit up to seeds_per_round new, still-free seeds per ad.
         let mut committed_this_round = 0;
-        for i in 0..h {
+        for (i, engaged_i) in engaged.iter_mut().enumerate() {
             let mut committed = 0;
             for &v in &plan.seeds[i] {
                 if committed >= cfg.seeds_per_round {
@@ -131,21 +135,16 @@ pub fn run_adaptive_campaign(
 
                 // Observe the realized cascade of this seed and charge CPE
                 // for each *new* engagement while budget lasts.
-                let activated: Vec<NodeId> = simulate_cascade_nodes(
-                    &inst.graph,
-                    &inst.ad_probs[i],
-                    &[v],
-                    &mut ws,
-                    &mut rng,
-                );
+                let activated: Vec<NodeId> =
+                    simulate_cascade_nodes(&inst.graph, &inst.ad_probs[i], &[v], &mut ws, &mut rng);
                 for u in activated {
-                    if engaged[i][u as usize] {
+                    if engaged_i[u as usize] {
                         continue;
                     }
                     if outcome.budget_left[i] < inst.ads[i].cpe {
                         break; // advertiser stops paying mid-cascade
                     }
-                    engaged[i][u as usize] = true;
+                    engaged_i[u as usize] = true;
                     outcome.realized_engagements[i] += 1;
                     outcome.realized_revenue[i] += inst.ads[i].cpe;
                     outcome.budget_left[i] -= inst.ads[i].cpe;

@@ -14,7 +14,9 @@ pub struct SeedAllocation {
 impl SeedAllocation {
     /// Empty allocation for `h` advertisers.
     pub fn empty(h: usize) -> Self {
-        SeedAllocation { seeds: vec![Vec::new(); h] }
+        SeedAllocation {
+            seeds: vec![Vec::new(); h],
+        }
     }
 
     /// Total seed count.
@@ -83,7 +85,11 @@ pub fn evaluate_allocation(
     method: EvalMethod,
     seed: u64,
 ) -> EvalReport {
-    assert_eq!(alloc.seeds.len(), instance.num_ads(), "allocation shape mismatch");
+    assert_eq!(
+        alloc.seeds.len(),
+        instance.num_ads(),
+        "allocation shape mismatch"
+    );
     let h = instance.num_ads();
     let mut report = EvalReport {
         spread: vec![0.0; h],
@@ -104,14 +110,16 @@ pub fn evaluate_allocation(
                     theta,
                     seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
                 ),
-                EvalMethod::MonteCarlo { runs } => rm_diffusion::estimate_spread(
-                    &instance.graph,
-                    &instance.ad_probs[i],
-                    seeds,
-                    runs,
-                    seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
-                )
-                .spread,
+                EvalMethod::MonteCarlo { runs } => {
+                    rm_diffusion::estimate_spread(
+                        &instance.graph,
+                        &instance.ad_probs[i],
+                        seeds,
+                        runs,
+                        seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
+                    )
+                    .spread
+                }
             }
         };
         let cost: f64 = seeds.iter().map(|&u| instance.incentives[i].cost(u)).sum();
@@ -147,16 +155,22 @@ mod tests {
 
     #[test]
     fn disjointness() {
-        let a = SeedAllocation { seeds: vec![vec![0, 1], vec![2]] };
+        let a = SeedAllocation {
+            seeds: vec![vec![0, 1], vec![2]],
+        };
         assert!(a.is_disjoint());
-        let b = SeedAllocation { seeds: vec![vec![0], vec![0]] };
+        let b = SeedAllocation {
+            seeds: vec![vec![0], vec![0]],
+        };
         assert!(!b.is_disjoint());
     }
 
     #[test]
     fn evaluation_on_deterministic_chain() {
         let inst = instance();
-        let alloc = SeedAllocation { seeds: vec![vec![0]] };
+        let alloc = SeedAllocation {
+            seeds: vec![vec![0]],
+        };
         let mc = evaluate_allocation(&inst, &alloc, EvalMethod::MonteCarlo { runs: 50 }, 3);
         // spread 4, cpe 2 → revenue 8; incentive 0.5·4 = 2 → payment 10.
         assert!((mc.total_revenue() - 8.0).abs() < 1e-9);

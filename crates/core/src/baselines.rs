@@ -21,7 +21,11 @@ pub fn pagerank_orders(inst: &RmInstance) -> Vec<Vec<NodeId>> {
             orders.push(orders[prev].clone());
             continue;
         }
-        orders.push(pagerank_order(&inst.graph, cfg, Some(inst.ad_probs[i].as_slice())));
+        orders.push(pagerank_order(
+            &inst.graph,
+            cfg,
+            Some(inst.ad_probs[i].as_slice()),
+        ));
     }
     orders
 }

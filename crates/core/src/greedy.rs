@@ -156,7 +156,11 @@ mod tests {
         let cs_rev = rev(&cs, &mut oe);
         assert!(cs_rev >= ca_rev, "CS {cs_rev} < CA {ca_rev}");
         // CS avoids the overpriced hub.
-        assert!(!cs.seeds[0].contains(&0), "CS took the overpriced hub: {:?}", cs.seeds[0]);
+        assert!(
+            !cs.seeds[0].contains(&0),
+            "CS took the overpriced hub: {:?}",
+            cs.seeds[0]
+        );
     }
 
     #[test]

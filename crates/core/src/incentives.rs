@@ -36,12 +36,7 @@ pub enum SingletonMethod {
 impl SingletonMethod {
     /// Computes `σ({u})` for every node under the given ad probabilities.
     /// Deterministic in `seed`.
-    pub fn singleton_spreads(
-        &self,
-        g: &CsrGraph,
-        probs: &AdProbs,
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn singleton_spreads(&self, g: &CsrGraph, probs: &AdProbs, seed: u64) -> Vec<f64> {
         match *self {
             SingletonMethod::RrEstimate { theta } => {
                 rm_rrsets::rr_singleton_spreads(g, probs, theta, seed)
@@ -103,7 +98,10 @@ impl IncentiveModel {
             }
             IncentiveModel::Superlinear { alpha } => {
                 assert!(alpha > 0.0);
-                sigma.iter().map(|&s| alpha * s.max(1.0) * s.max(1.0)).collect()
+                sigma
+                    .iter()
+                    .map(|&s| alpha * s.max(1.0) * s.max(1.0))
+                    .collect()
             }
         };
         IncentiveSchedule::new(costs)
@@ -140,7 +138,10 @@ pub struct IncentiveSchedule {
 impl IncentiveSchedule {
     /// Wraps explicit per-node costs.
     pub fn new(costs: Vec<f64>) -> Self {
-        assert!(costs.iter().all(|&c| c >= 0.0 && c.is_finite()), "costs must be finite, >= 0");
+        assert!(
+            costs.iter().all(|&c| c >= 0.0 && c.is_finite()),
+            "costs must be finite, >= 0"
+        );
         let cmax = costs.iter().copied().fold(0.0, f64::max);
         IncentiveSchedule { costs, cmax }
     }
@@ -218,7 +219,12 @@ mod tests {
         let rr = SingletonMethod::RrEstimate { theta: 30_000 }.singleton_spreads(&g, &probs, 1);
         let mc = SingletonMethod::MonteCarlo { runs: 200 }.singleton_spreads(&g, &probs, 2);
         for u in 0..4 {
-            assert!((rr[u] - mc[u]).abs() < 0.1, "node {u}: rr {} mc {}", rr[u], mc[u]);
+            assert!(
+                (rr[u] - mc[u]).abs() < 0.1,
+                "node {u}: rr {} mc {}",
+                rr[u],
+                mc[u]
+            );
         }
     }
 

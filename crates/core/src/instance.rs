@@ -70,8 +70,8 @@ impl RmInstance {
                     singleton_spreads.push(twin);
                 }
                 None => {
-                    let sigma = method
-                        .singleton_spreads(&graph, probs, seed ^ ((i as u64) << 40) ^ 0xA11C);
+                    let sigma =
+                        method.singleton_spreads(&graph, probs, seed ^ ((i as u64) << 40) ^ 0xA11C);
                     singleton_spreads.push(Arc::new(sigma));
                 }
             }
@@ -82,7 +82,13 @@ impl RmInstance {
             .map(|sigma| model.schedule(sigma))
             .collect();
 
-        RmInstance { graph, ads, ad_probs, incentives, singleton_spreads }
+        RmInstance {
+            graph,
+            ads,
+            ad_probs,
+            incentives,
+            singleton_spreads,
+        }
     }
 
     /// Builds with explicit per-ad incentive schedules (tests, gadgets).
@@ -95,9 +101,16 @@ impl RmInstance {
         let h = ads.len();
         assert!(h > 0 && ad_probs.len() == h && incentives.len() == h);
         assert!(incentives.iter().all(|s| s.len() == graph.num_nodes()));
-        let singleton_spreads =
-            vec![Arc::new(vec![0.0; graph.num_nodes()]); h];
-        RmInstance { graph, ads, ad_probs, incentives, singleton_spreads }
+        // One shared all-zero placeholder: the spreads are never mutated.
+        let zeros = Arc::new(vec![0.0; graph.num_nodes()]);
+        let singleton_spreads = (0..h).map(|_| Arc::clone(&zeros)).collect();
+        RmInstance {
+            graph,
+            ads,
+            ad_probs,
+            incentives,
+            singleton_spreads,
+        }
     }
 
     /// Number of users `n`.
@@ -119,7 +132,10 @@ impl RmInstance {
     /// nodes).
     pub fn to_exact_problem(&self) -> rm_submod::RmProblem {
         let n = self.num_nodes();
-        assert!(n <= 16 && self.graph.num_edges() <= 20, "exact conversion is for gadgets");
+        assert!(
+            n <= 16 && self.graph.num_edges() <= 20,
+            "exact conversion is for gadgets"
+        );
         let revenue: Vec<rm_submod::problem::RevenueFn> = (0..self.num_ads())
             .map(|i| {
                 let g = self.graph.clone();
@@ -183,7 +199,10 @@ mod tests {
     fn single_topic_instances_share_probability_storage() {
         let inst = chain_instance();
         assert!(inst.ad_probs[0].shares_storage(&inst.ad_probs[1]));
-        assert!(Arc::ptr_eq(&inst.singleton_spreads[0], &inst.singleton_spreads[1]));
+        assert!(Arc::ptr_eq(
+            &inst.singleton_spreads[0],
+            &inst.singleton_spreads[1]
+        ));
     }
 
     #[test]

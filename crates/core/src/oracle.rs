@@ -37,7 +37,12 @@ impl<'a> McOracle<'a> {
     /// `runs` simulations per query, stream derived from `seed`.
     pub fn new(graph: &'a CsrGraph, probs: &'a [AdProbs], runs: usize, seed: u64) -> Self {
         assert!(runs > 0);
-        McOracle { graph, probs, runs, seed }
+        McOracle {
+            graph,
+            probs,
+            runs,
+            seed,
+        }
     }
 }
 

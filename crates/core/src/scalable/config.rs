@@ -79,7 +79,11 @@ impl Default for ScalableConfig {
 impl ScalableConfig {
     /// The paper's scalability-experiment setting (ε = 0.3, w = 5000).
     pub fn scalability() -> Self {
-        ScalableConfig { epsilon: 0.3, window: Window::Size(5000), ..Default::default() }
+        ScalableConfig {
+            epsilon: 0.3,
+            window: Window::Size(5000),
+            ..Default::default()
+        }
     }
 }
 

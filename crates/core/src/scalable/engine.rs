@@ -4,7 +4,9 @@
 use std::time::Instant;
 
 use rm_graph::NodeId;
-use rm_rrsets::{sample_rr_batch, sample_size, KptEstimator, LazyGreedyHeap, RrCoverage, TimConfig};
+use rm_rrsets::{
+    sample_rr_batch, sample_size, KptEstimator, LazyGreedyHeap, RrCoverage, TimConfig,
+};
 
 use crate::allocation::SeedAllocation;
 use crate::instance::RmInstance;
@@ -170,8 +172,10 @@ impl<'a> TiEngine<'a> {
     fn init_ads(&self, tim: &TimConfig) -> Vec<AdState> {
         let n = self.inst.num_nodes();
         let g = &self.inst.graph;
-        let needs_pagerank =
-            matches!(self.kind, AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr);
+        let needs_pagerank = matches!(
+            self.kind,
+            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
+        );
         let pr_orders: Vec<Vec<NodeId>> = if needs_pagerank {
             crate::baselines::pagerank_orders(self.inst)
         } else {
@@ -191,7 +195,7 @@ impl<'a> TiEngine<'a> {
             let s_latent = 1usize;
             let theta = sample_size(n, s_latent, tim, kpt.opt_lower_bound(s_latent));
             let capped = theta >= tim.max_sets_per_ad;
-            let sample_seed = self.cfg.seed ^ 0x5A3D_17 ^ ((j as u64) << 20);
+            let sample_seed = self.cfg.seed ^ 0x005A_3D17 ^ ((j as u64) << 20);
             let (sets, _) = sample_rr_batch(g, &probs, theta, sample_seed, 0);
             let mut cov = RrCoverage::new(n);
             cov.add_batch(&sets, &vec![false; n]);
@@ -207,7 +211,7 @@ impl<'a> TiEngine<'a> {
                 is_seed: vec![false; n],
                 cost_total: 0.0,
                 heap,
-                pr_order: if needs_pagerank { pr_orders[j].clone() } else { Vec::new() },
+                pr_order: pr_orders.get(j).cloned().unwrap_or_default(),
                 pr_cursor: 0,
                 exhausted: false,
                 sample_seed,
@@ -263,7 +267,11 @@ impl<'a> TiEngine<'a> {
                         continue;
                     }
                     stats.candidate_evaluations += 1;
-                    return Some(Candidate { v, cov: st.cov.coverage(v), popped: Vec::new() });
+                    return Some(Candidate {
+                        v,
+                        cov: st.cov.coverage(v),
+                        popped: Vec::new(),
+                    });
                 }
                 None
             }
@@ -299,7 +307,11 @@ impl<'a> TiEngine<'a> {
         };
         stats.candidate_evaluations += 1;
         let (v, key_now) = st.heap.pop_valid(current, |v| assigned[v as usize])?;
-        Some(Candidate { v, cov: cov_ref.coverage(v), popped: vec![(v, key_now)] })
+        Some(Candidate {
+            v,
+            cov: cov_ref.coverage(v),
+            popped: vec![(v, key_now)],
+        })
     }
 
     /// Windowed CS selection (Alg. 5 with window `w`): pop the top-`w` nodes
@@ -336,7 +348,11 @@ impl<'a> TiEngine<'a> {
             .map(|&(v, cov)| (v, cov, cov / incent.cost(v).max(COST_FLOOR)))
             .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(v, cov, _)| (v, cov as u32))?;
-        Some(Candidate { v: best.0, cov: best.1, popped })
+        Some(Candidate {
+            v: best.0,
+            cov: best.1,
+            popped,
+        })
     }
 
     /// Eager (non-lazy) scan over every unassigned node — the ablation
@@ -372,7 +388,11 @@ impl<'a> TiEngine<'a> {
                         best = Some((v, c, k));
                     }
                 }
-                best.map(|(v, cov, _)| Candidate { v, cov, popped: Vec::new() })
+                best.map(|(v, cov, _)| Candidate {
+                    v,
+                    cov,
+                    popped: Vec::new(),
+                })
             }
             KeyKind::WindowedRatio => {
                 // Top-w by coverage, then best ratio among them.
@@ -389,7 +409,11 @@ impl<'a> TiEngine<'a> {
                 top.into_iter()
                     .map(|(v, c)| (v, c, c as f64 / incent.cost(v).max(COST_FLOOR)))
                     .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(v, cov, _)| Candidate { v, cov, popped: Vec::new() })
+                    .map(|(v, cov, _)| Candidate {
+                        v,
+                        cov,
+                        popped: Vec::new(),
+                    })
             }
         }
     }

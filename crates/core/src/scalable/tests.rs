@@ -91,7 +91,10 @@ fn deterministic_in_seed() {
 fn lazy_and_eager_agree_for_ti_carm() {
     let inst = wc_instance(300, 2, 40.0, 0.2, 21);
     let lazy = test_cfg(3);
-    let eager = ScalableConfig { lazy: false, ..lazy };
+    let eager = ScalableConfig {
+        lazy: false,
+        ..lazy
+    };
     let (a1, s1) = TiEngine::new(&inst, AlgorithmKind::TiCarm, lazy).run();
     let (a2, s2) = TiEngine::new(&inst, AlgorithmKind::TiCarm, eager).run();
     assert_eq!(a1, a2, "lazy evaluation must not change the result");
@@ -131,7 +134,10 @@ fn csrm_beats_carm_under_linear_incentives() {
     let cfg = test_cfg(13);
     let (ca, _) = TiEngine::new(&inst, AlgorithmKind::TiCarm, cfg).run();
     let (cs, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
-    assert!(ca.num_seeds() > 0, "budget must afford TI-CARM's hub candidates");
+    assert!(
+        ca.num_seeds() > 0,
+        "budget must afford TI-CARM's hub candidates"
+    );
     let eval = EvalMethod::RrSets { theta: 50_000 };
     let ca_eval = evaluate_allocation(&inst, &ca, eval, 99);
     let cs_eval = evaluate_allocation(&inst, &cs, eval, 99);
@@ -153,7 +159,10 @@ fn csrm_beats_carm_under_linear_incentives() {
 fn window_one_matches_carm_candidates_single_ad() {
     // §5: "TI-CARM corresponds to the case when w = 1".
     let inst = wc_instance(300, 1, 40.0, 0.2, 55);
-    let cfg_w1 = ScalableConfig { window: Window::Size(1), ..test_cfg(4) };
+    let cfg_w1 = ScalableConfig {
+        window: Window::Size(1),
+        ..test_cfg(4)
+    };
     let (w1, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg_w1).run();
     let (ca, _) = TiEngine::new(&inst, AlgorithmKind::TiCarm, test_cfg(4)).run();
     assert_eq!(w1, ca);
@@ -165,7 +174,10 @@ fn wider_windows_do_not_reduce_revenue_much() {
     let eval = EvalMethod::RrSets { theta: 40_000 };
     let mut revs = Vec::new();
     for w in [Window::Size(1), Window::Size(50), Window::Full] {
-        let cfg = ScalableConfig { window: w, ..test_cfg(8) };
+        let cfg = ScalableConfig {
+            window: w,
+            ..test_cfg(8)
+        };
         let (alloc, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
         revs.push(evaluate_allocation(&inst, &alloc, eval, 5).total_revenue());
     }
@@ -201,7 +213,10 @@ fn pagerank_baselines_feasible_and_weaker_than_csrm() {
 fn strict_vs_continue_termination() {
     let inst = wc_instance(300, 2, 30.0, 0.5, 91);
     let strict = test_cfg(6);
-    let relaxed = ScalableConfig { strict_termination: false, ..strict };
+    let relaxed = ScalableConfig {
+        strict_termination: false,
+        ..strict
+    };
     let (a_strict, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, strict).run();
     let (a_relax, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, relaxed).run();
     // Continuing past the first infeasible round can only add seeds.
@@ -211,7 +226,10 @@ fn strict_vs_continue_termination() {
 #[test]
 fn sample_cap_is_reported() {
     let inst = wc_instance(300, 1, 50.0, 0.2, 14);
-    let cfg = ScalableConfig { max_sets_per_ad: 500, ..test_cfg(3) };
+    let cfg = ScalableConfig {
+        max_sets_per_ad: 500,
+        ..test_cfg(3)
+    };
     let (_, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
     assert!(stats.sample_capped, "hitting the θ cap must be reported");
     assert!(stats.theta_per_ad.iter().all(|&t| t <= 500));

@@ -22,7 +22,11 @@ pub struct CascadeWorkspace {
 impl CascadeWorkspace {
     /// Workspace for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        CascadeWorkspace { mark: vec![0; n], epoch: 0, queue: Vec::new() }
+        CascadeWorkspace {
+            mark: vec![0; n],
+            epoch: 0,
+            queue: Vec::new(),
+        }
     }
 
     #[inline]
@@ -126,7 +130,10 @@ mod tests {
         let probs = AdProbs::from_vec(vec![0.0]);
         let mut ws = CascadeWorkspace::new(3);
         let mut rng = SmallRng::seed_from_u64(3);
-        assert_eq!(simulate_cascade(&g, &probs, &[0, 0, 0], &mut ws, &mut rng), 1);
+        assert_eq!(
+            simulate_cascade(&g, &probs, &[0, 0, 0], &mut ws, &mut rng),
+            1
+        );
     }
 
     #[test]

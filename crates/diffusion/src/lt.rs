@@ -136,8 +136,8 @@ pub fn sample_lt_rr_set<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use rand::{rngs::SmallRng, SeedableRng};
-    use rm_graph::builder::graph_from_edges;
     use rm_diffusion_test_helpers::*;
+    use rm_graph::builder::graph_from_edges;
 
     mod rm_diffusion_test_helpers {
         pub use crate::tic::TicModel;

@@ -44,18 +44,23 @@ pub fn estimate_spread(
         for _ in 0..runs {
             total += simulate_cascade(g, probs, seeds, &mut ws, &mut rng);
         }
-        return SpreadEstimate { spread: total as f64 / runs as f64, runs };
+        return SpreadEstimate {
+            spread: total as f64 / runs as f64,
+            runs,
+        };
     }
 
     let per = runs / threads;
     let extra = runs % threads;
     let mut totals = vec![0u64; threads];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (tid, slot) in totals.iter_mut().enumerate() {
             let my_runs = per + usize::from(tid < extra);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut ws = CascadeWorkspace::new(g.num_nodes());
-                let mut rng = SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let mut total = 0u64;
                 for _ in 0..my_runs {
                     total += simulate_cascade(g, probs, seeds, &mut ws, &mut rng) as u64;
@@ -63,10 +68,12 @@ pub fn estimate_spread(
                 *slot = total;
             });
         }
-    })
-    .expect("spread-estimation worker panicked");
+    });
     let total: u64 = totals.iter().sum();
-    SpreadEstimate { spread: total as f64 / runs as f64, runs }
+    SpreadEstimate {
+        spread: total as f64 / runs as f64,
+        runs,
+    }
 }
 
 /// Estimates the singleton spread `σ({u})` of **every** node with `runs` MC
@@ -80,13 +87,14 @@ pub fn singleton_spreads_mc(g: &CsrGraph, probs: &AdProbs, runs: usize, seed: u6
     let threads = num_threads(n);
     let chunk = n.div_ceil(threads);
     let mut out = vec![0.0f64; n];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (tid, slice) in out.chunks_mut(chunk).enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let lo = tid * chunk;
                 let mut ws = CascadeWorkspace::new(g.num_nodes());
-                let mut rng =
-                    SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (tid as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                );
                 for (off, slot) in slice.iter_mut().enumerate() {
                     let u = (lo + off) as NodeId;
                     let mut total = 0usize;
@@ -97,13 +105,14 @@ pub fn singleton_spreads_mc(g: &CsrGraph, probs: &AdProbs, runs: usize, seed: u6
                 }
             });
         }
-    })
-    .expect("singleton-spread worker panicked");
+    });
     out
 }
 
 fn num_threads(work_items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     hw.min(work_items.max(1)).min(32)
 }
 

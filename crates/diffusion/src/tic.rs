@@ -30,7 +30,10 @@ pub struct TopicalConfig {
 
 impl Default for TopicalConfig {
     fn default() -> Self {
-        TopicalConfig { dominant_weight: 0.9, strength: 1.0 }
+        TopicalConfig {
+            dominant_weight: 0.9,
+            strength: 1.0,
+        }
     }
 }
 
@@ -42,7 +45,11 @@ impl TicModel {
     /// is outside `[0, 1]`.
     pub fn from_matrix(g: &CsrGraph, l: usize, probs: Vec<f32>) -> Self {
         assert!(l > 0);
-        assert_eq!(probs.len(), g.num_edges() * l, "probability matrix shape mismatch");
+        assert_eq!(
+            probs.len(),
+            g.num_edges() * l,
+            "probability matrix shape mismatch"
+        );
         assert!(
             probs.iter().all(|&p| (0.0..=1.0).contains(&p)),
             "probabilities must lie in [0,1]"
@@ -77,7 +84,9 @@ impl TicModel {
     /// {0.1, 0.01, 0.001}.
     pub fn trivalency<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Self {
         const LEVELS: [f32; 3] = [0.1, 0.01, 0.001];
-        let probs = (0..g.num_edges()).map(|_| LEVELS[rng.random_range(0..3)]).collect();
+        let probs = (0..g.num_edges())
+            .map(|_| LEVELS[rng.random_range(0..3usize)])
+            .collect();
         TicModel { l: 1, probs }
     }
 
@@ -150,7 +159,9 @@ impl TicModel {
                 *slot = acc.min(1.0);
             }
         }
-        AdProbs { probs: Arc::new(out) }
+        AdProbs {
+            probs: Arc::new(out),
+        }
     }
 
     /// Approximate resident bytes of the probability matrix.
@@ -171,7 +182,9 @@ impl AdProbs {
     /// Wraps an explicit probability vector (one entry per canonical edge).
     pub fn from_vec(probs: Vec<f32>) -> Self {
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
-        AdProbs { probs: Arc::new(probs) }
+        AdProbs {
+            probs: Arc::new(probs),
+        }
     }
 
     /// Probability of the given edge.
@@ -263,10 +276,17 @@ mod tests {
         // probability than an ad peaked elsewhere.
         for e in 0..g.num_edges() as u32 {
             let probs: Vec<f32> = (0..4).map(|z| tic.topic_prob(e, z)).collect();
-            let zmax = (0..4).max_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap()).unwrap();
+            let zmax = (0..4)
+                .max_by(|&a, &b| probs[a].partial_cmp(&probs[b]).unwrap())
+                .unwrap();
             let on = tic.ad_probs(&TopicDistribution::peaked(4, zmax, 0.91));
             let off = tic.ad_probs(&TopicDistribution::peaked(4, (zmax + 1) % 4, 0.91));
-            assert!(on.get(e) > off.get(e), "edge {e}: on {} off {}", on.get(e), off.get(e));
+            assert!(
+                on.get(e) > off.get(e),
+                "edge {e}: on {} off {}",
+                on.get(e),
+                off.get(e)
+            );
         }
     }
 

@@ -28,13 +28,17 @@ impl TopicDistribution {
             s.is_finite() && s > 0.0 && weights.iter().all(|&w| w >= 0.0),
             "topic weights must be non-negative and not all zero"
         );
-        TopicDistribution { gamma: weights.iter().map(|&w| w / s).collect() }
+        TopicDistribution {
+            gamma: weights.iter().map(|&w| w / s).collect(),
+        }
     }
 
     /// Uniform distribution over `l` topics.
     pub fn uniform(l: usize) -> Self {
         assert!(l > 0);
-        TopicDistribution { gamma: vec![1.0 / l as f32; l] }
+        TopicDistribution {
+            gamma: vec![1.0 / l as f32; l],
+        }
     }
 
     /// Point mass on topic `z`.
@@ -71,7 +75,10 @@ impl TopicDistribution {
         rng: &mut R,
     ) -> Vec<TopicDistribution> {
         let pairs = h.div_ceil(2);
-        assert!(l >= pairs, "need at least {pairs} topics for {h} ads, got {l}");
+        assert!(
+            l >= pairs,
+            "need at least {pairs} topics for {h} ads, got {l}"
+        );
         // Random choice of `pairs` distinct topics.
         let mut topics: Vec<usize> = (0..l).collect();
         for i in (1..topics.len()).rev() {
@@ -120,7 +127,12 @@ impl TopicDistribution {
     /// measure between two ads (1 = pure competition for identical peaks).
     pub fn similarity(&self, other: &TopicDistribution) -> f32 {
         assert_eq!(self.num_topics(), other.num_topics());
-        let dot: f32 = self.gamma.iter().zip(&other.gamma).map(|(a, b)| a * b).sum();
+        let dot: f32 = self
+            .gamma
+            .iter()
+            .zip(&other.gamma)
+            .map(|(a, b)| a * b)
+            .sum();
         let na: f32 = self.gamma.iter().map(|a| a * a).sum::<f32>().sqrt();
         let nb: f32 = other.gamma.iter().map(|b| b * b).sum::<f32>().sqrt();
         if na == 0.0 || nb == 0.0 {

@@ -15,7 +15,9 @@ use crate::tic::AdProbs;
 
 /// Samples a possible world: `live[eid]` is true iff the edge survived.
 pub fn sample_world<R: Rng + ?Sized>(g: &CsrGraph, probs: &AdProbs, rng: &mut R) -> Vec<bool> {
-    (0..g.num_edges() as u32).map(|e| rng.random::<f32>() < probs.get(e)).collect()
+    (0..g.num_edges() as u32)
+        .map(|e| rng.random::<f32>() < probs.get(e))
+        .collect()
 }
 
 /// Number of nodes forward-reachable from `seeds` through live edges.

@@ -26,7 +26,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite value,
     /// or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let k = weights.len();
         assert!(k <= u32::MAX as usize, "too many outcomes");
         let total: f64 = weights.iter().copied().sum();

@@ -24,12 +24,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// New builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// New builder with edge capacity pre-reserved.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of nodes the graph will have.

@@ -40,12 +40,18 @@ impl CsrGraph {
     pub fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
         let m = edges.len();
         assert!(m < u32::MAX as usize, "edge count exceeds u32 range");
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+deduped");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+deduped"
+        );
 
         let mut out_offsets = vec![0u32; n + 1];
         let mut in_deg = vec![0u32; n];
         for &(s, t) in edges {
-            debug_assert!((s as usize) < n && (t as usize) < n, "endpoint out of range");
+            debug_assert!(
+                (s as usize) < n && (t as usize) < n,
+                "endpoint out of range"
+            );
             debug_assert_ne!(s, t, "self loop");
             out_offsets[s as usize + 1] += 1;
             in_deg[t as usize] += 1;
@@ -72,7 +78,14 @@ impl CsrGraph {
             in_eids[slot] = eid as EdgeId;
         }
 
-        CsrGraph { n, out_offsets, out_targets, in_offsets, in_sources, in_eids }
+        CsrGraph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_eids,
+        }
     }
 
     /// Number of nodes.
@@ -136,7 +149,10 @@ impl CsrGraph {
     /// iterator overhead).
     #[inline]
     pub fn in_slot_range(&self, v: NodeId) -> (usize, usize) {
-        (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize)
+        (
+            self.in_offsets[v as usize] as usize,
+            self.in_offsets[v as usize + 1] as usize,
+        )
     }
 
     /// In-slot arrays (sources and canonical edge ids), parallel to each other.
@@ -162,8 +178,7 @@ impl CsrGraph {
     /// Returns the transpose (every edge reversed). Edge ids are **not**
     /// preserved; use only where per-edge attributes are symmetric.
     pub fn transpose(&self) -> CsrGraph {
-        let mut edges: Vec<(NodeId, NodeId)> =
-            self.edges().map(|(_, u, v)| (v, u)).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = self.edges().map(|(_, u, v)| (v, u)).collect();
         edges.sort_unstable();
         edges.dedup();
         CsrGraph::from_sorted_edges(self.n, &edges)
@@ -198,10 +213,11 @@ mod tests {
         // Every in-edge's canonical id must map back to the same (src, dst).
         for v in 0..4u32 {
             for (eid, src) in g.in_edges(v) {
-                let found = g
-                    .out_edges(src)
-                    .any(|(e2, t)| e2 == eid && t == v);
-                assert!(found, "in-edge ({src}->{v}, id {eid}) missing from out view");
+                let found = g.out_edges(src).any(|(e2, t)| e2 == eid && t == v);
+                assert!(
+                    found,
+                    "in-edge ({src}->{v}, id {eid}) missing from out view"
+                );
             }
         }
     }

@@ -33,24 +33,38 @@ fn stats(mut degs: Vec<usize>) -> DegreeStats {
         max: degs[n - 1],
         mean,
         median,
-        top1_share: if total == 0 { 0.0 } else { top as f64 / total as f64 },
+        top1_share: if total == 0 {
+            0.0
+        } else {
+            top as f64 / total as f64
+        },
     }
 }
 
 /// Out-degree statistics.
 pub fn out_degree_stats(g: &CsrGraph) -> DegreeStats {
-    stats((0..g.num_nodes() as NodeId).map(|u| g.out_degree(u)).collect())
+    stats(
+        (0..g.num_nodes() as NodeId)
+            .map(|u| g.out_degree(u))
+            .collect(),
+    )
 }
 
 /// In-degree statistics.
 pub fn in_degree_stats(g: &CsrGraph) -> DegreeStats {
-    stats((0..g.num_nodes() as NodeId).map(|u| g.in_degree(u)).collect())
+    stats(
+        (0..g.num_nodes() as NodeId)
+            .map(|u| g.in_degree(u))
+            .collect(),
+    )
 }
 
 /// Out-degree of every node as `f64` (the paper's incentive proxy on large
 /// graphs: "we use the out-degree of the nodes as a proxy to σ_i({u})").
 pub fn out_degrees_f64(g: &CsrGraph) -> Vec<f64> {
-    (0..g.num_nodes() as NodeId).map(|u| g.out_degree(u) as f64).collect()
+    (0..g.num_nodes() as NodeId)
+        .map(|u| g.out_degree(u) as f64)
+        .collect()
 }
 
 #[cfg(test)]

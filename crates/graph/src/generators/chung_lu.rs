@@ -39,12 +39,7 @@ pub fn power_law_weights(n: usize, gamma: f64) -> Vec<f64> {
 /// in-weights are decorrelated by a deterministic rotation so hubs-by-
 /// out-degree and hubs-by-in-degree only partially coincide, mimicking
 /// follower graphs.
-pub fn chung_lu_directed<R: Rng + ?Sized>(
-    n: usize,
-    m: usize,
-    gamma: f64,
-    rng: &mut R,
-) -> CsrGraph {
+pub fn chung_lu_directed<R: Rng + ?Sized>(n: usize, m: usize, gamma: f64, rng: &mut R) -> CsrGraph {
     assert!(n >= 2 || m == 0);
     let w = cap_weights(power_law_weights(n, gamma), n, m);
     // Rotate the in-weights by n/3 so in- and out-hubs differ.
@@ -63,11 +58,23 @@ fn cap_weights(mut w: Vec<f64>, n: usize, m: usize) -> Vec<f64> {
     if m == 0 {
         return w;
     }
-    // Expected degree of node i ≈ m · w_i / Σw with Σw = n.
-    let cap = (0.02 * n as f64) * n as f64 / m as f64;
-    let cap = cap.max(4.0 * n as f64 / m as f64); // never below 4× average
-    for x in &mut w {
-        *x = x.min(cap);
+    // Expected degree of node i is m · w_i / Σw, and capping shrinks Σw,
+    // which re-inflates every survivor's share — so the cap must hold at the
+    // *post-cap* sum. Water-fill to the fixed point: recompute the weight cap
+    // from the current sum, clamp, repeat until the expected-degree cap holds.
+    // Never below 4 edges, and never below the average degree m/n: a cap
+    // under the average is unsatisfiable (uniform weights already exceed
+    // it), and the fixed-point iteration below would diverge toward zero.
+    let target_degree = (0.02 * n as f64).max(4.0).max(m as f64 / n as f64);
+    for _ in 0..64 {
+        let sum: f64 = w.iter().sum();
+        let cap = target_degree * sum / m as f64;
+        if w.iter().all(|&x| x <= cap * (1.0 + 1e-9)) {
+            break;
+        }
+        for x in &mut w {
+            *x = x.min(cap);
+        }
     }
     w
 }

@@ -19,7 +19,11 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGra
         loop {
             // Geometric skip: number of non-edges before the next edge.
             let r: f64 = rng.random();
-            let skip = if p >= 1.0 { 0 } else { ((1.0 - r).ln() / log_q).floor() as i64 };
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                ((1.0 - r).ln() / log_q).floor() as i64
+            };
             idx += skip + 1;
             if idx as u64 >= total {
                 break;
@@ -34,12 +38,7 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGra
 /// G(n, m): exactly up to `m` distinct directed edges sampled uniformly
 /// (duplicates are rejected, so for extremely dense requests fewer edges can
 /// be returned after the attempt budget is exhausted).
-pub fn erdos_renyi_m<R: Rng + ?Sized>(
-    n: usize,
-    m: usize,
-    directed: bool,
-    rng: &mut R,
-) -> CsrGraph {
+pub fn erdos_renyi_m<R: Rng + ?Sized>(n: usize, m: usize, directed: bool, rng: &mut R) -> CsrGraph {
     assert!(n >= 2 || m == 0, "need at least two nodes to place edges");
     let mut b = GraphBuilder::with_capacity(n, if directed { m } else { 2 * m });
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
@@ -52,7 +51,11 @@ pub fn erdos_renyi_m<R: Rng + ?Sized>(
         if u == v {
             continue;
         }
-        let key = if directed || u < v { ((u as u64) << 32) | v as u64 } else { ((v as u64) << 32) | u as u64 };
+        let key = if directed || u < v {
+            ((u as u64) << 32) | v as u64
+        } else {
+            ((v as u64) << 32) | u as u64
+        };
         if seen.insert(key) {
             if directed {
                 b.add_edge(u, v);

@@ -13,7 +13,10 @@ use crate::csr::{CsrGraph, NodeId};
 /// Produces graphs with heavy-tailed degrees and strong local clustering.
 /// Directed: new node points at burned nodes.
 pub fn forest_fire<R: Rng + ?Sized>(n: usize, fw: f64, bw: f64, rng: &mut R) -> CsrGraph {
-    assert!((0.0..1.0).contains(&fw), "forward probability must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&fw),
+        "forward probability must be in [0,1)"
+    );
     assert!((0.0..=1.0).contains(&bw));
     assert!(n >= 2);
     let mut b = GraphBuilder::new(n);

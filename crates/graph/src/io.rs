@@ -32,15 +32,25 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
             }
         };
         let u: NodeId = a.parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad node id {a:?}: {e}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad node id {a:?}: {e}"),
+            )
         })?;
         let v: NodeId = b.parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad node id {b:?}: {e}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad node id {b:?}: {e}"),
+            )
         })?;
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     b.extend(edges);
     Ok(b.build())

@@ -20,7 +20,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, max_iters: 100, tol: 1e-9 }
+        PageRankConfig {
+            damping: 0.85,
+            max_iters: 100,
+            tol: 1e-9,
+        }
     }
 }
 
@@ -84,7 +88,11 @@ pub fn pagerank(g: &CsrGraph, cfg: PageRankConfig, edge_weight: Option<&[f32]>) 
 }
 
 /// Node ids sorted by descending PageRank (stable tie-break by id).
-pub fn pagerank_order(g: &CsrGraph, cfg: PageRankConfig, edge_weight: Option<&[f32]>) -> Vec<NodeId> {
+pub fn pagerank_order(
+    g: &CsrGraph,
+    cfg: PageRankConfig,
+    edge_weight: Option<&[f32]>,
+) -> Vec<NodeId> {
     let pr = pagerank(g, cfg, edge_weight);
     let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
     order.sort_by(|&a, &b| {

@@ -88,7 +88,11 @@ mod tests {
         let probs = AdProbs::from_vec(vec![1.0; 3]);
         let s = rr_singleton_spreads(&g, &probs, 40_000, 7);
         for (u, expect) in [(0usize, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)] {
-            assert!((s[u] - expect).abs() < 0.08, "node {u}: {} vs {expect}", s[u]);
+            assert!(
+                (s[u] - expect).abs() < 0.08,
+                "node {u}: {} vs {expect}",
+                s[u]
+            );
         }
     }
 

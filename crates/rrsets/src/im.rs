@@ -38,7 +38,11 @@ pub fn tim_influence_maximization(
 ) -> ImResult {
     let n = g.num_nodes();
     if n == 0 || k == 0 {
-        return ImResult { seeds: Vec::new(), spread: 0.0, theta: 0 };
+        return ImResult {
+            seeds: Vec::new(),
+            spread: 0.0,
+            theta: 0,
+        };
     }
     let k = k.min(n);
     let kpt = KptEstimator::estimate(g, probs, k, cfg, seed ^ 0x71AD);
@@ -69,16 +73,17 @@ mod tests {
     use rm_graph::{builder::graph_from_edges, generators};
 
     fn cfg() -> TimConfig {
-        TimConfig { epsilon: 0.3, ell: 1.0, max_sets_per_ad: 300_000 }
+        TimConfig {
+            epsilon: 0.3,
+            ell: 1.0,
+            max_sets_per_ad: 300_000,
+        }
     }
 
     #[test]
     fn picks_the_obvious_hubs() {
         // Two disjoint out-stars; k = 2 must take both centers.
-        let g = graph_from_edges(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)],
-        );
+        let g = graph_from_edges(8, &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (4, 7)]);
         let probs = AdProbs::from_vec(vec![1.0; 6]);
         let r = tim_influence_maximization(&g, &probs, 2, &cfg(), 3);
         let mut s = r.seeds.clone();
@@ -116,7 +121,9 @@ mod tests {
     fn edge_cases() {
         let g = graph_from_edges(3, &[(0, 1)]);
         let probs = AdProbs::from_vec(vec![0.5]);
-        assert!(tim_influence_maximization(&g, &probs, 0, &cfg(), 1).seeds.is_empty());
+        assert!(tim_influence_maximization(&g, &probs, 0, &cfg(), 1)
+            .seeds
+            .is_empty());
         let all = tim_influence_maximization(&g, &probs, 10, &cfg(), 1);
         assert_eq!(all.seeds.len(), 3, "k clamps to n");
     }

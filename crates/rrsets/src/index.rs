@@ -245,7 +245,10 @@ impl LazyGreedyHeap {
             }
             // Stale: reinsert with the fresh key unless it is dead.
             if now > 0.0 {
-                self.heap.push(HeapEntry { key: now, node: top.node });
+                self.heap.push(HeapEntry {
+                    key: now,
+                    node: top.node,
+                });
             }
         }
         None
@@ -320,7 +323,9 @@ mod tests {
     fn memory_accounting_grows() {
         let mut idx = RrCoverage::new(100);
         let before = idx.memory_bytes();
-        let sets: Vec<Vec<NodeId>> = (0..50).map(|i| vec![i as NodeId, (i + 1) as NodeId]).collect();
+        let sets: Vec<Vec<NodeId>> = (0..50)
+            .map(|i| vec![i as NodeId, (i + 1) as NodeId])
+            .collect();
         idx.add_batch(&sets, &[false; 100]);
         assert!(idx.memory_bytes() > before);
     }
@@ -340,8 +345,7 @@ mod tests {
         idx.add_batch(&sets, &[false; 5]);
         let eager = idx.greedy_max_coverage(3);
 
-        let mut heap =
-            LazyGreedyHeap::build((0..5u32).map(|v| (v, idx.coverage(v) as f64)));
+        let mut heap = LazyGreedyHeap::build((0..5u32).map(|v| (v, idx.coverage(v) as f64)));
         let mut lazy = Vec::new();
         let mut assigned = [false; 5];
         for _ in 0..3 {

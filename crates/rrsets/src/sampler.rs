@@ -16,7 +16,10 @@ pub struct RrWorkspace {
 impl RrWorkspace {
     /// Workspace for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        RrWorkspace { mark: vec![0; n], epoch: 0 }
+        RrWorkspace {
+            mark: vec![0; n],
+            epoch: 0,
+        }
     }
 
     #[inline]
@@ -51,7 +54,7 @@ pub fn sample_rr_set<R: Rng + ?Sized>(
     ws.mark[root as usize] = ws.epoch;
     out.push(root);
 
-    let (in_sources, _) = g.in_slots();
+    let (in_sources, in_eids) = g.in_slots();
     let mut width = 0u64;
     let mut i = 0;
     while i < out.len() {
@@ -59,13 +62,11 @@ pub fn sample_rr_set<R: Rng + ?Sized>(
         i += 1;
         let (lo, hi) = g.in_slot_range(v);
         width += (hi - lo) as u64;
-        for slot in lo..hi {
-            let u = in_sources[slot];
+        // `in_eids[slot]` is the canonical edge id for in-slot `slot`.
+        for (&u, &eid) in in_sources[lo..hi].iter().zip(&in_eids[lo..hi]) {
             if ws.mark[u as usize] == ws.epoch {
                 continue;
             }
-            // Canonical edge id for this in-slot.
-            let eid = g.in_slots().1[slot];
             let p = probs.get(eid);
             if p > 0.0 && rng.random::<f32>() < p {
                 ws.mark[u as usize] = ws.epoch;
@@ -111,11 +112,13 @@ pub fn sample_rr_batch(
         .min(count)
         .min(32);
     let chunk = count.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (tid, (set_chunk, width_chunk)) in
-            sets.chunks_mut(chunk).zip(widths.chunks_mut(chunk)).enumerate()
+    std::thread::scope(|scope| {
+        for (tid, (set_chunk, width_chunk)) in sets
+            .chunks_mut(chunk)
+            .zip(widths.chunks_mut(chunk))
+            .enumerate()
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut ws = RrWorkspace::new(g.num_nodes());
                 let base = tid as u64 * chunk as u64;
                 for (off, (set, width)) in
@@ -127,8 +130,7 @@ pub fn sample_rr_batch(
                 }
             });
         }
-    })
-    .expect("RR sampling worker panicked");
+    });
     (sets, widths)
 }
 

@@ -33,7 +33,11 @@ pub struct TimConfig {
 
 impl Default for TimConfig {
     fn default() -> Self {
-        TimConfig { epsilon: 0.1, ell: 1.0, max_sets_per_ad: usize::MAX }
+        TimConfig {
+            epsilon: 0.1,
+            ell: 1.0,
+            max_sets_per_ad: usize::MAX,
+        }
     }
 }
 
@@ -83,13 +87,7 @@ pub struct KptEstimator {
 impl KptEstimator {
     /// Runs the estimation loop for seed-set size `k`. Deterministic in
     /// `seed`. Graphs with no edges yield the trivial bound.
-    pub fn estimate(
-        g: &CsrGraph,
-        probs: &AdProbs,
-        k: usize,
-        cfg: &TimConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn estimate(g: &CsrGraph, probs: &AdProbs, k: usize, cfg: &TimConfig, seed: u64) -> Self {
         let n = g.num_nodes();
         let m = g.num_edges();
         let k = k.max(1);
@@ -107,8 +105,8 @@ impl KptEstimator {
         let mut last_widths: Vec<u64> = Vec::new();
         let max_rounds = (log2n.floor() as usize).saturating_sub(1).max(1);
         for i in 1..=max_rounds {
-            let c_i = ((6.0 * cfg.ell * n_f.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32))
-                .ceil() as usize;
+            let c_i = ((6.0 * cfg.ell * n_f.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32)).ceil()
+                as usize;
             let c_i = c_i.min(cfg.max_sets_per_ad.max(1));
             let (_, widths) = sample_rr_batch(g, probs, c_i, seed ^ (i as u64) << 48, 0);
             let sum: f64 = widths.iter().map(|&w| kappa(w, m, k)).sum();
@@ -125,7 +123,13 @@ impl KptEstimator {
                 };
             }
         }
-        KptEstimator { n, m, widths: last_widths, kpt_at_calibration: 1.0, calibration_k: k }
+        KptEstimator {
+            n,
+            m,
+            widths: last_widths,
+            kpt_at_calibration: 1.0,
+            calibration_k: k,
+        }
     }
 
     /// KPT*-based `OPT_k` lower bound for an arbitrary `k`, re-evaluated on
@@ -156,9 +160,9 @@ fn kappa(width: u64, m: usize, k: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
     use rm_graph::builder::graph_from_edges;
     use rm_graph::generators;
-    use rand::{rngs::SmallRng, SeedableRng};
 
     #[test]
     fn log_choose_small_values() {
@@ -172,8 +176,14 @@ mod tests {
 
     #[test]
     fn sample_size_monotone_in_s_and_eps() {
-        let cfg1 = TimConfig { epsilon: 0.1, ..Default::default() };
-        let cfg3 = TimConfig { epsilon: 0.3, ..Default::default() };
+        let cfg1 = TimConfig {
+            epsilon: 0.1,
+            ..Default::default()
+        };
+        let cfg3 = TimConfig {
+            epsilon: 0.3,
+            ..Default::default()
+        };
         let a = sample_size(10_000, 5, &cfg1, 100.0);
         let b = sample_size(10_000, 50, &cfg1, 100.0);
         assert!(b > a, "L must grow with s: {a} vs {b}");
@@ -191,7 +201,11 @@ mod tests {
 
     #[test]
     fn sample_size_respects_cap() {
-        let cfg = TimConfig { epsilon: 0.01, ell: 2.0, max_sets_per_ad: 5000 };
+        let cfg = TimConfig {
+            epsilon: 0.01,
+            ell: 2.0,
+            max_sets_per_ad: 5000,
+        };
         assert_eq!(sample_size(1_000_000, 100, &cfg, 1.0), 5000);
     }
 
@@ -202,7 +216,10 @@ mod tests {
         let g = generators::erdos_renyi_m(300, 1500, true, &mut rng);
         let probs = rm_diffusion::TicModel::weighted_cascade(&g)
             .ad_probs(&rm_diffusion::TopicDistribution::uniform(1));
-        let cfg = TimConfig { epsilon: 0.2, ..Default::default() };
+        let cfg = TimConfig {
+            epsilon: 0.2,
+            ..Default::default()
+        };
         let est = KptEstimator::estimate(&g, &probs, 1, &cfg, 5);
         let bound = est.opt_lower_bound(1);
         // Ground truth: best singleton spread via MC.
@@ -219,7 +236,10 @@ mod tests {
     fn opt_lower_bound_monotone_in_k() {
         let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
         let probs = rm_diffusion::AdProbs::from_vec(vec![0.5; g.num_edges()]);
-        let cfg = TimConfig { epsilon: 0.3, ..Default::default() };
+        let cfg = TimConfig {
+            epsilon: 0.3,
+            ..Default::default()
+        };
         let est = KptEstimator::estimate(&g, &probs, 1, &cfg, 3);
         let b1 = est.opt_lower_bound(1);
         let b5 = est.opt_lower_bound(5);

@@ -13,7 +13,11 @@ pub struct BitSet {
 impl BitSet {
     /// Empty set over `{0, .., universe-1}`.
     pub fn new(universe: usize) -> Self {
-        BitSet { words: vec![0; universe.div_ceil(64)], universe, len: 0 }
+        BitSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
     }
 
     /// Set containing the given elements.
@@ -58,7 +62,11 @@ impl BitSet {
     /// Inserts `x`; returns true if it was absent.
     #[inline]
     pub fn insert(&mut self, x: usize) -> bool {
-        debug_assert!(x < self.universe, "element {x} outside universe {}", self.universe);
+        debug_assert!(
+            x < self.universe,
+            "element {x} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[x / 64];
         let bit = 1u64 << (x % 64);
         if *w & bit == 0 {
@@ -103,7 +111,10 @@ impl BitSet {
     /// True if `self ⊆ other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `self` with `x` inserted (non-mutating helper for marginals).

@@ -50,7 +50,10 @@ pub fn theorem3_bound(big_r: usize, kappa_rho_max: f64, rho_max: f64, rho_min: f
 pub fn theorem4_deterioration(cpes: &[f64], epsilon: f64, opt_si: &[f64]) -> f64 {
     assert_eq!(cpes.len(), opt_si.len());
     assert!(epsilon > 0.0);
-    cpes.iter().zip(opt_si).map(|(&c, &o)| c * epsilon * o).sum()
+    cpes.iter()
+        .zip(opt_si)
+        .map(|(&c, &o)| c * epsilon * o)
+        .sum()
 }
 
 #[cfg(test)]

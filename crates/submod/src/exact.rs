@@ -16,7 +16,10 @@ pub fn brute_force_optimum(p: &RmProblem) -> (Allocation, f64) {
         (n as f64) * ((h + 1) as f64).ln() < 16.0_f64.exp().ln() * 16.0,
         "instance too large for brute force"
     );
-    assert!(pow_checked(h + 1, n).is_some(), "instance too large for brute force");
+    assert!(
+        pow_checked(h + 1, n).is_some(),
+        "instance too large for brute force"
+    );
 
     let mut best_alloc = Allocation::empty(h);
     let mut best_value = 0.0f64;
@@ -70,7 +73,10 @@ fn to_alloc(assign: &[usize], h: usize) -> Allocation {
 pub fn independence_ranks(p: &RmProblem) -> (usize, usize) {
     let n = p.num_nodes();
     let h = p.num_ads();
-    assert!(pow_checked(h + 1, n).is_some(), "instance too large to enumerate");
+    assert!(
+        pow_checked(h + 1, n).is_some(),
+        "instance too large to enumerate"
+    );
     let mut r = usize::MAX;
     let mut big_r = 0usize;
     let mut assign = vec![usize::MAX; n];
@@ -141,7 +147,10 @@ pub fn rank_quotient(p: &RmProblem) -> f64 {
     let n = p.num_nodes();
     let h = p.num_ads();
     let e = n * h; // pair (u, i) encoded u*h + i
-    assert!(e <= 16, "rank quotient enumeration limited to tiny instances");
+    assert!(
+        e <= 16,
+        "rank quotient enumeration limited to tiny instances"
+    );
     let feasible = |mask: u32| -> bool {
         let mut alloc = Allocation::empty(h);
         for x in 0..e {
@@ -212,7 +221,11 @@ mod tests {
     use crate::problem::RevenueFn;
     use proptest::prelude::*;
 
-    fn modular_problem(weights: Vec<Vec<f64>>, costs: Vec<Vec<f64>>, budgets: Vec<f64>) -> RmProblem {
+    fn modular_problem(
+        weights: Vec<Vec<f64>>,
+        costs: Vec<Vec<f64>>,
+        budgets: Vec<f64>,
+    ) -> RmProblem {
         let revenue: Vec<RevenueFn> = weights
             .into_iter()
             .map(|w| -> RevenueFn { Box::new(ModularFunction::new(w)) })

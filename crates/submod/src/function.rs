@@ -53,7 +53,10 @@ pub struct ModularFunction {
 impl ModularFunction {
     /// From per-element weights (must be non-negative for monotonicity).
     pub fn new(weights: Vec<f64>) -> Self {
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         ModularFunction { weights }
     }
 
@@ -99,9 +102,15 @@ impl CoverageFunction {
     /// each item's value.
     pub fn new(covers: Vec<Vec<u32>>, item_weights: Vec<f64>) -> Self {
         let items = item_weights.len() as u32;
-        assert!(covers.iter().flatten().all(|&i| i < items), "item id out of range");
+        assert!(
+            covers.iter().flatten().all(|&i| i < items),
+            "item id out of range"
+        );
         assert!(item_weights.iter().all(|&w| w >= 0.0));
-        CoverageFunction { covers, item_weights }
+        CoverageFunction {
+            covers,
+            item_weights,
+        }
     }
 
     /// Unit-weight coverage over `num_items` items.
@@ -235,10 +244,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn subset_strategy(n: usize) -> impl Strategy<Value = BitSet> {
-        prop::collection::vec(prop::bool::ANY, n)
-            .prop_map(move |bits| {
-                BitSet::from_iter(n, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i))
-            })
+        prop::collection::vec(prop::bool::ANY, n).prop_map(move |bits| {
+            BitSet::from_iter(
+                n,
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+            )
+        })
     }
 
     #[test]

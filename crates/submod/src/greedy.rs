@@ -125,7 +125,10 @@ mod tests {
         let p = modular_single_ad();
         let (alloc, trace) = ca_greedy(&p);
         assert_eq!(alloc.seed_sets[0], vec![0, 1]);
-        assert!(trace.rejected >= 1, "cheaper nodes must get rejected by budget");
+        assert!(
+            trace.rejected >= 1,
+            "cheaper nodes must get rejected by budget"
+        );
         assert!(p.is_feasible(&alloc));
     }
 
@@ -133,8 +136,7 @@ mod tests {
     fn cs_greedy_prefers_high_ratio() {
         // Node 0: revenue 10, cost 90 (ratio 0.1); node 1: revenue 8, cost 0
         // (ratio 1). Budget 20: CS takes node 1 first, then cannot afford 0.
-        let revenue: Vec<RevenueFn> =
-            vec![Box::new(ModularFunction::new(vec![10.0, 8.0]))];
+        let revenue: Vec<RevenueFn> = vec![Box::new(ModularFunction::new(vec![10.0, 8.0]))];
         let cost = vec![vec![90.0, 0.0]];
         let p = RmProblem::new(revenue, cost, vec![20.0]);
         let (cs, _) = cs_greedy(&p);
@@ -150,7 +152,11 @@ mod tests {
     fn disjointness_enforced_across_ads() {
         // Two ads value the same node 0 most; only one may take it.
         let mk = || -> RevenueFn { Box::new(ModularFunction::new(vec![10.0, 1.0])) };
-        let p = RmProblem::new(vec![mk(), mk()], vec![vec![1.0, 1.0]; 2], vec![100.0, 100.0]);
+        let p = RmProblem::new(
+            vec![mk(), mk()],
+            vec![vec![1.0, 1.0]; 2],
+            vec![100.0, 100.0],
+        );
         let (alloc, _) = ca_greedy(&p);
         assert!(p.is_feasible(&alloc));
         assert!(alloc.is_disjoint());
@@ -164,10 +170,7 @@ mod tests {
     #[test]
     fn submodular_revenue_diminishing_choice() {
         // Coverage: nodes 0 and 1 overlap heavily; 2 covers fresh items.
-        let cov = CoverageFunction::unit(
-            vec![vec![0, 1, 2], vec![0, 1, 3], vec![4, 5]],
-            6,
-        );
+        let cov = CoverageFunction::unit(vec![vec![0, 1, 2], vec![0, 1, 3], vec![4, 5]], 6);
         let revenue: Vec<RevenueFn> = vec![Box::new(ScaledFunction::new(cov, 1.0))];
         let p = RmProblem::new(revenue, vec![vec![0.1; 3]], vec![100.0]);
         let (alloc, trace) = ca_greedy(&p);

@@ -47,7 +47,10 @@ impl PartitionMatroid {
     /// `part_of[x]` is the part of element `x`; `capacity[p]` bounds how many
     /// elements of part `p` an independent set may contain.
     pub fn new(part_of: Vec<usize>, capacity: Vec<usize>) -> Self {
-        assert!(part_of.iter().all(|&p| p < capacity.len()), "part id out of range");
+        assert!(
+            part_of.iter().all(|&p| p < capacity.len()),
+            "part id out of range"
+        );
         PartitionMatroid { part_of, capacity }
     }
 
@@ -55,7 +58,10 @@ impl PartitionMatroid {
     /// encoded `x = node * h + ad`; parts are nodes; every capacity is 1.
     pub fn rm(n: usize, h: usize) -> Self {
         let part_of = (0..n * h).map(|x| x / h).collect();
-        PartitionMatroid { part_of, capacity: vec![1; n] }
+        PartitionMatroid {
+            part_of,
+            capacity: vec![1; n],
+        }
     }
 
     /// Part of element `x`.
@@ -158,7 +164,10 @@ mod tests {
 
     fn arb_subset(n: usize) -> impl Strategy<Value = BitSet> {
         prop::collection::vec(prop::bool::ANY, n).prop_map(move |bits| {
-            BitSet::from_iter(n, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i))
+            BitSet::from_iter(
+                n,
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+            )
         })
     }
 

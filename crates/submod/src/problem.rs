@@ -27,7 +27,9 @@ pub struct Allocation {
 impl Allocation {
     /// Empty allocation for `h` advertisers.
     pub fn empty(h: usize) -> Self {
-        Allocation { seed_sets: vec![Vec::new(); h] }
+        Allocation {
+            seed_sets: vec![Vec::new(); h],
+        }
     }
 
     /// Total number of seeds across advertisers.
@@ -68,9 +70,16 @@ impl RmProblem {
         assert_eq!(budgets.len(), h);
         let n = revenue[0].ground_size();
         assert!(revenue.iter().all(|f| f.ground_size() == n));
-        assert!(cost.iter().all(|c| c.len() == n && c.iter().all(|&x| x >= 0.0)));
+        assert!(cost
+            .iter()
+            .all(|c| c.len() == n && c.iter().all(|&x| x >= 0.0)));
         assert!(budgets.iter().all(|&b| b > 0.0));
-        RmProblem { n, revenue, cost, budgets }
+        RmProblem {
+            n,
+            revenue,
+            cost,
+            budgets,
+        }
     }
 
     /// Number of candidate nodes.
@@ -212,8 +221,14 @@ mod tests {
         // π_i = cpe · coverage over 3 items; nodes 0,1,2.
         let cov = |sets: Vec<Vec<u32>>| CoverageFunction::unit(sets, 3);
         let revenue: Vec<RevenueFn> = vec![
-            Box::new(ScaledFunction::new(cov(vec![vec![0, 1], vec![1], vec![2]]), 1.0)),
-            Box::new(ScaledFunction::new(cov(vec![vec![0], vec![0, 1, 2], vec![2]]), 2.0)),
+            Box::new(ScaledFunction::new(
+                cov(vec![vec![0, 1], vec![1], vec![2]]),
+                1.0,
+            )),
+            Box::new(ScaledFunction::new(
+                cov(vec![vec![0], vec![0, 1, 2], vec![2]]),
+                2.0,
+            )),
         ];
         let cost = vec![vec![0.5, 0.2, 0.1], vec![1.0, 2.0, 0.3]];
         RmProblem::new(revenue, cost, vec![3.0, 5.0])
@@ -232,11 +247,17 @@ mod tests {
         let p = two_ad_problem();
         // ad 0 seed {0}: π = 2, cost 0.5 → ρ = 2.5 ≤ 3.
         // ad 1 seed {2}: π = 2·1, cost 0.3 → ρ = 2.3 ≤ 5.
-        let ok = Allocation { seed_sets: vec![vec![0], vec![2]] };
+        let ok = Allocation {
+            seed_sets: vec![vec![0], vec![2]],
+        };
         assert!(p.is_feasible(&ok));
-        let overlap = Allocation { seed_sets: vec![vec![0], vec![0]] };
+        let overlap = Allocation {
+            seed_sets: vec![vec![0], vec![0]],
+        };
         assert!(!p.is_feasible(&overlap));
-        let busted = Allocation { seed_sets: vec![vec![0, 1, 2], vec![]] };
+        let busted = Allocation {
+            seed_sets: vec![vec![0, 1, 2], vec![]],
+        };
         // ad 0 payment: π=3 + cost 0.8 = 3.8 > 3.
         assert!(!p.is_feasible(&busted));
     }
@@ -244,7 +265,9 @@ mod tests {
     #[test]
     fn totals() {
         let p = two_ad_problem();
-        let a = Allocation { seed_sets: vec![vec![2], vec![1]] };
+        let a = Allocation {
+            seed_sets: vec![vec![2], vec![1]],
+        };
         // π_0({2}) = 1, π_1({1}) = 2*3 = 6.
         assert!((p.total_revenue(&a) - 7.0).abs() < 1e-12);
         assert!((p.total_seeding_cost(&a) - 2.1).abs() < 1e-12);

@@ -26,7 +26,13 @@ fn main() {
 
     let mk_ads = || -> Vec<Advertiser> {
         (0..4)
-            .map(|i| Advertiser::new(if i % 2 == 0 { 1.0 } else { 2.0 }, 800.0, TopicDistribution::uniform(1)))
+            .map(|i| {
+                Advertiser::new(
+                    if i % 2 == 0 { 1.0 } else { 2.0 },
+                    800.0,
+                    TopicDistribution::uniform(1),
+                )
+            })
             .collect()
     };
 
@@ -41,15 +47,24 @@ fn main() {
     let sweeps: Vec<(&str, Vec<IncentiveModel>)> = vec![
         (
             "linear",
-            [0.1, 0.3, 0.5].iter().map(|&alpha| IncentiveModel::Linear { alpha }).collect(),
+            [0.1, 0.3, 0.5]
+                .iter()
+                .map(|&alpha| IncentiveModel::Linear { alpha })
+                .collect(),
         ),
         (
             "constant",
-            [1.0, 3.0, 5.0].iter().map(|&alpha| IncentiveModel::Constant { alpha }).collect(),
+            [1.0, 3.0, 5.0]
+                .iter()
+                .map(|&alpha| IncentiveModel::Constant { alpha })
+                .collect(),
         ),
         (
             "sublinear",
-            [1.0, 3.0, 5.0].iter().map(|&alpha| IncentiveModel::Sublinear { alpha }).collect(),
+            [1.0, 3.0, 5.0]
+                .iter()
+                .map(|&alpha| IncentiveModel::Sublinear { alpha })
+                .collect(),
         ),
         (
             "superlinear",

@@ -12,7 +12,9 @@ use revmax::prelude::*;
 fn main() {
     // A 2 000-node synthetic follower graph with a power-law degree tail.
     let mut rng = SmallRng::seed_from_u64(7);
-    let graph = Arc::new(revmax::graph::generators::barabasi_albert(2_000, 3, &mut rng));
+    let graph = Arc::new(revmax::graph::generators::barabasi_albert(
+        2_000, 3, &mut rng,
+    ));
     println!(
         "graph: {} nodes, {} arcs",
         graph.num_nodes(),

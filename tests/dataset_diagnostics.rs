@@ -8,7 +8,10 @@ use revmax::prelude::SyntheticDataset;
 
 #[test]
 fn quality_datasets_have_a_giant_component() {
-    for ds in [SyntheticDataset::FlixsterLike, SyntheticDataset::EpinionsLike] {
+    for ds in [
+        SyntheticDataset::FlixsterLike,
+        SyntheticDataset::EpinionsLike,
+    ] {
         let g = ds.generate(0.05, 9);
         let wcc = weakly_connected_components(&g);
         let giant = largest_component_size(&wcc);
@@ -23,7 +26,11 @@ fn quality_datasets_have_a_giant_component() {
 #[test]
 fn degree_tails_are_heavy_but_truncated() {
     for ds in SyntheticDataset::ALL {
-        let scale = if ds == SyntheticDataset::LiveJournalLike { 0.005 } else { 0.05 };
+        let scale = if ds == SyntheticDataset::LiveJournalLike {
+            0.005
+        } else {
+            0.05
+        };
         let g = ds.generate(scale, 4);
         let st = degree::out_degree_stats(&g);
         // Heavy tail: top 1% of nodes hold well over 1% of edges.
@@ -46,6 +53,9 @@ fn degree_tails_are_heavy_but_truncated() {
 fn undirected_dataset_symmetry_survives_scaling() {
     let g = SyntheticDataset::DblpLike.generate(0.004, 11);
     for (_, u, v) in g.edges() {
-        assert!(g.out_neighbors(v).contains(&u), "missing reverse of {u}->{v}");
+        assert!(
+            g.out_neighbors(v).contains(&u),
+            "missing reverse of {u}->{v}"
+        );
     }
 }

@@ -33,7 +33,12 @@ fn build_instance(alpha: f64, model: fn(f64) -> IncentiveModel, seed: u64) -> Rm
 }
 
 fn cfg(seed: u64) -> ScalableConfig {
-    ScalableConfig { epsilon: 0.3, max_sets_per_ad: 400_000, seed, ..Default::default() }
+    ScalableConfig {
+        epsilon: 0.3,
+        max_sets_per_ad: 400_000,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]

@@ -19,8 +19,14 @@ fn three_estimators_agree_on_a_gadget() {
         let exact = diffusion::world::exact_spread_enumeration(&g, &probs, &seeds);
         let mc = diffusion::estimate_spread(&g, &probs, &seeds, 120_000, 3).spread;
         let rr = rrsets::rr_estimate_spread(&g, &probs, &seeds, 120_000, 4);
-        assert!((exact - mc).abs() < 0.05, "seeds {seeds:?}: exact {exact} mc {mc}");
-        assert!((exact - rr).abs() < 0.05, "seeds {seeds:?}: exact {exact} rr {rr}");
+        assert!(
+            (exact - mc).abs() < 0.05,
+            "seeds {seeds:?}: exact {exact} mc {mc}"
+        );
+        assert!(
+            (exact - rr).abs() < 0.05,
+            "seeds {seeds:?}: exact {exact} rr {rr}"
+        );
     }
 }
 
@@ -41,7 +47,10 @@ fn rr_and_mc_singletons_agree_on_random_graph() {
     // Aggregate agreement should be much tighter.
     let rr_sum: f64 = rr.iter().sum();
     let mc_sum: f64 = mc.iter().sum();
-    assert!((rr_sum - mc_sum).abs() / mc_sum < 0.03, "sums {rr_sum} vs {mc_sum}");
+    assert!(
+        (rr_sum - mc_sum).abs() / mc_sum < 0.03,
+        "sums {rr_sum} vs {mc_sum}"
+    );
 }
 
 #[test]
@@ -61,7 +70,11 @@ fn engine_internal_estimate_matches_independent_evaluation() {
         SingletonMethod::RrEstimate { theta: 30_000 },
         8,
     );
-    let cfg = ScalableConfig { epsilon: 0.2, max_sets_per_ad: 500_000, ..Default::default() };
+    let cfg = ScalableConfig {
+        epsilon: 0.2,
+        max_sets_per_ad: 500_000,
+        ..Default::default()
+    };
     let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
     let eval = evaluate_allocation(&inst, &alloc, EvalMethod::MonteCarlo { runs: 20_000 }, 17);
     let internal = stats.total_revenue();
@@ -79,7 +92,16 @@ fn tic_reduces_to_ic_under_identical_topics() {
     // 1-topic model or an equivalent multi-topic model with equal rows.
     let g = Arc::new(graph_from_edges(
         8,
-        &[(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (5, 6), (6, 7), (3, 7)],
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (3, 7),
+        ],
     ));
     let m = g.num_edges();
     let flat = TicModel::uniform(&g, 0.6);

@@ -1,0 +1,65 @@
+//! Smoke test for the workspace wiring itself: the façade's re-exports and
+//! prelude must resolve from outside the crate, and the five member crates
+//! must be reachable through their `revmax::*` aliases.
+
+use revmax::prelude::*;
+
+#[test]
+fn prelude_reexports_resolve() {
+    // Every prelude name, used at type or value level.
+    let _: fn(f64, f64, TopicDistribution) -> Advertiser = Advertiser::new;
+    let _ = AlgorithmKind::TiCsrm.name();
+    let _ = EvalMethod::MonteCarlo { runs: 1 };
+    let _ = IncentiveModel::Linear { alpha: 0.1 };
+    let _ = SingletonMethod::OutDegree;
+    let cfg = ScalableConfig::default();
+    assert_eq!(cfg.epsilon, 0.1);
+    let _ = Window::Full;
+    let _: Option<NodeId> = None;
+    let _ = SyntheticDataset::FlixsterLike.spec();
+}
+
+#[test]
+fn crate_aliases_resolve() {
+    // The façade's five member-crate aliases are live module paths.
+    let _ = revmax::graph::builder::graph_from_edges(2, &[(0, 1)]);
+    let _ = revmax::diffusion::TopicDistribution::uniform(3);
+    let _ = revmax::rrsets::log_choose(5, 2);
+    let _ = revmax::submod::BitSet::from_iter(4, [0, 2]);
+    let _ = revmax::core::ScalableConfig::default();
+}
+
+#[test]
+fn prelude_types_drive_a_minimal_instance() {
+    use std::sync::Arc;
+
+    // The quickstart doctest in `src/lib.rs` runs the full pipeline under
+    // `cargo test`; this is the cheapest end-to-end path through the same
+    // prelude names, kept fast enough for a smoke suite.
+    use rand::{rngs::SmallRng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(3);
+    let graph = Arc::new(revmax::graph::generators::erdos_renyi_m(
+        50, 200, true, &mut rng,
+    ));
+    let tic = TicModel::weighted_cascade(&graph);
+    let ads = vec![Advertiser::new(1.0, 10.0, TopicDistribution::uniform(1))];
+    let inst = RmInstance::build(
+        graph,
+        &tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.2 },
+        SingletonMethod::OutDegree,
+        9,
+    );
+    let cfg = ScalableConfig {
+        epsilon: 0.5,
+        max_sets_per_ad: 10_000,
+        ..Default::default()
+    };
+    let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+    assert!(alloc.is_disjoint());
+    let report: EvalReport =
+        evaluate_allocation(&inst, &alloc, EvalMethod::RrSets { theta: 5_000 }, 11);
+    assert!(report.total_revenue() >= 0.0);
+    let _: RunStats = stats;
+}

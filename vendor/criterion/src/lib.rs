@@ -1,0 +1,317 @@
+//! Vendored, dependency-free stand-in for the slice of `criterion` this
+//! workspace's benches use (the build environment cannot reach crates.io).
+//!
+//! It implements real wall-clock measurement — warmup, then `sample_size`
+//! timed samples of an adaptively chosen batch size, reporting min/mean/max
+//! per iteration and optional throughput — but none of criterion's
+//! statistics, plotting, or baseline comparison. The API subset covers:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Throughput`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros
+//! (benches must set `harness = false`, as with real criterion).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work. Re-exported name-compatible with `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function_id` / `parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: function_id.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function_id.is_empty() {
+            f.write_str(&self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_id, self.parameter)
+        }
+    }
+}
+
+/// Things accepted as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, recording `sample_size` samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warmup + batch-size calibration: aim for every sample to take
+        // roughly measurement_time / sample_size.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = (per_sample / once.as_secs_f64()).clamp(1.0, 1e7) as u32;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    /// API-compatibility alias for [`Bencher::iter`]. Unlike real criterion,
+    /// drops are **not** deferred outside the timed region — deallocation
+    /// cost is included in every sample.
+    pub fn iter_with_large_drop<T, F: FnMut() -> T>(&mut self, routine: F) {
+        self.iter(routine)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Report throughput with each timing.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.into_name();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        self.report(&name, &samples);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = id.into_name();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        self.report(&name, &samples);
+        self
+    }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{name}: no samples", self.name);
+            return;
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / mean.as_secs_f64();
+                format!("  thrpt: {:.3} Kelem/s", eps / 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let bps = n as f64 / mean.as_secs_f64();
+                format!("  thrpt: {:.3} MiB/s", bps / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{name}\n  time: [{} {} {}]{thr}",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+        );
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.into_name();
+        self.benchmark_group(name.clone()).bench_function(name, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_api_end_to_end() {
+        let mut c = Criterion::default();
+        trivial_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("wc", "n100").to_string(), "wc/n100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

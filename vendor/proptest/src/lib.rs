@@ -1,0 +1,383 @@
+//! Vendored, dependency-free stand-in for the slice of `proptest` this
+//! workspace uses (the build environment cannot reach crates.io).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `fn name(pat in strategy, ...) { body }` items,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0usize..6`, `0.0f64..=1.0`, ...),
+//!   `prop::bool::ANY`, `prop::collection::vec(strategy, len)`,
+//!   and [`Strategy::prop_map`],
+//! * `any::<T>()` for primitives.
+//!
+//! Unlike real proptest there is **no shrinking**: on failure the offending
+//! inputs are printed and the test panics. Cases are generated from a fixed
+//! per-test seed so runs are deterministic.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng, StandardSample};
+
+/// Error carried out of a failing property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// How values are drawn; a deterministic wrapper over the vendored RNG.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A fresh runner with a fixed seed derived from the test name.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a so each property gets its own stream, stable across runs.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy for any value of a primitive type (`any::<bool>()`, ...).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: StandardSample + fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        runner.rng().random()
+    }
+}
+
+/// `proptest::prelude::any::<T>()` — uniform over the whole type.
+pub fn any<T: StandardSample + fmt::Debug>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Sub-modules mirroring `proptest::prop::*` paths.
+pub mod strategy_mods {
+    /// `prop::bool` — boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRunner};
+        use rand::Rng;
+
+        /// Uniform over `{true, false}`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn new_value(&self, runner: &mut TestRunner) -> bool {
+                runner.rng().random()
+            }
+        }
+
+        /// `prop::bool::ANY`.
+        pub const ANY: BoolAny = BoolAny;
+    }
+
+    /// `prop::collection` — container strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRunner};
+        use rand::Rng;
+
+        /// Lengths acceptable to [`vec()`]: a fixed size or a range of sizes.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end);
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy producing `Vec`s whose elements come from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let len = if self.size.lo == self.size.hi {
+                    self.size.lo
+                } else {
+                    runner.rng().random_range(self.size.lo..=self.size.hi)
+                };
+                (0..len).map(|_| self.element.new_value(runner)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Mirrors `proptest::test_runner`.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::strategy_mods as prop;
+    pub use super::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use super::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body; on failure the case inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // Bind first so the negation applies to a plain bool (keeps
+        // clippy::neg_cmp_op_on_partial_ord quiet at every expansion site).
+        let __prop_assert_ok: bool = $cond;
+        if !__prop_assert_ok {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Define property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(concat!(
+                module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let __vals = ($( $crate::Strategy::new_value(&$strat, &mut runner), )+);
+                let __dbg = format!("{:?}", __vals);
+                let ($($arg,)+) = __vals;
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, config.cases, e, __dbg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRunner;
+
+    #[test]
+    fn ranges_and_vec_strategies_sample_in_bounds() {
+        let mut runner = TestRunner::new("shim::sanity");
+        for _ in 0..200 {
+            let x = (3usize..7).new_value(&mut runner);
+            assert!((3..7).contains(&x));
+            let f = (0.0f64..=1.0).new_value(&mut runner);
+            assert!((0.0..=1.0).contains(&f));
+            let v = prop::collection::vec(prop::bool::ANY, 5).new_value(&mut runner);
+            assert_eq!(v.len(), 5);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut runner = TestRunner::new("shim::map");
+        let strat = (0usize..5).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = strat.new_value(&mut runner);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: multiple args, doc comments, early return.
+        #[test]
+        fn macro_end_to_end(a in 1usize..10, b in 0.0f64..1.0, v in prop::collection::vec(prop::bool::ANY, 4)) {
+            if v.iter().all(|&x| x) { return Ok(()); }
+            prop_assert!((1..10).contains(&a), "a out of range: {a}");
+            prop_assert!(b < 1.0);
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+}
