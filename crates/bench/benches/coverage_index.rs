@@ -4,9 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::{rngs::SmallRng, SeedableRng};
 use rm_diffusion::{TicModel, TopicDistribution};
 use rm_graph::generators;
-use rm_rrsets::RrCoverage;
+use rm_rrsets::{RrArena, RrCoverage};
 
-fn setup(n: usize, m: usize, theta: usize) -> (usize, Vec<Vec<u32>>) {
+fn setup(n: usize, m: usize, theta: usize) -> (usize, RrArena) {
     let mut rng = SmallRng::seed_from_u64(3);
     let g = generators::chung_lu_directed(n, m, 2.3, &mut rng);
     let probs = TicModel::weighted_cascade(&g).ad_probs(&TopicDistribution::uniform(1));

@@ -1,0 +1,64 @@
+//! End-to-end RR-set pipeline throughput on a Table-3-style workload
+//! (DBLP-like scale: a power-law graph too large for cache, Weighted
+//! Cascade): batch sampling into storage, coverage-index ingestion, and the
+//! resident memory the index reports afterwards. The recorded before/after
+//! numbers live in `BENCH_rrsets.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::SmallRng, SeedableRng};
+use rm_diffusion::{TicModel, TopicDistribution};
+use rm_graph::generators;
+use rm_rrsets::RrCoverage;
+
+const N: usize = 100_000;
+const M: usize = 1_000_000;
+const BATCH: usize = 50_000;
+
+fn bench_rrsets_throughput(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let g = generators::chung_lu_directed(N, M, 2.3, &mut rng);
+    let probs = TicModel::weighted_cascade(&g).ad_probs(&TopicDistribution::uniform(1));
+
+    // CI sets RRSETS_BENCH_QUICK=1: a short smoke measurement that exercises
+    // the full pipeline without spending minutes on a noisy shared runner.
+    // The recorded BENCH_rrsets.json numbers come from full local runs.
+    let quick = std::env::var("RRSETS_BENCH_QUICK").is_ok();
+    let mut group = c.benchmark_group("rrsets_throughput");
+    group.measurement_time(std::time::Duration::from_millis(if quick {
+        400
+    } else {
+        3000
+    }));
+    group.sample_size(if quick { 2 } else { 10 });
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("sample_batch_50k", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            rm_rrsets::sample_rr_batch(&g, &probs, BATCH, 7, round * BATCH as u64)
+        });
+    });
+
+    let (sets, _) = rm_rrsets::sample_rr_batch(&g, &probs, BATCH, 11, 0);
+    group.bench_function("coverage_ingest_50k", |b| {
+        let mask = vec![false; N];
+        b.iter(|| {
+            let mut idx = RrCoverage::new(N);
+            idx.add_batch(&sets, &mask);
+            idx.num_sets()
+        });
+    });
+    group.finish();
+
+    // Not a timing: the resident bytes the index reports for this sample
+    // (Table 3's `memory_bytes`), printed for BENCH_rrsets.json.
+    let mut idx = RrCoverage::new(N);
+    idx.add_batch(&sets, &vec![false; N]);
+    println!(
+        "rrsets_throughput/memory_bytes_50k: {}\n",
+        idx.memory_bytes()
+    );
+}
+
+criterion_group!(benches, bench_rrsets_throughput);
+criterion_main!(benches);

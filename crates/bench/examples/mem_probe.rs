@@ -1,0 +1,31 @@
+//! Reproducibility probe: engine-level RR memory on a small Table-3-style run
+//! (feeds BENCH_rrsets.json; API-stable across the arena refactor for A/B runs).
+
+use rm_core::{AlgorithmKind, TiEngine};
+use rm_graph::SyntheticDataset;
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.03);
+    let inst = rm_bench::setup::scalability_instance(
+        SyntheticDataset::DblpLike,
+        5,
+        10_000.0 * scale,
+        scale,
+        20_170_419,
+    );
+    let cfg = rm_bench::setup::scalability_config(20_170_419);
+    let t0 = std::time::Instant::now();
+    let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+    println!(
+        "scale={scale} n={} rr_memory_bytes={} theta_total={} seeds={} sampled={} t={:?}",
+        inst.num_nodes(),
+        stats.rr_memory_bytes,
+        stats.total_theta(),
+        alloc.num_seeds(),
+        stats.rr_sets_sampled,
+        t0.elapsed(),
+    );
+}

@@ -133,6 +133,7 @@ impl IncentiveModel {
 pub struct IncentiveSchedule {
     costs: Vec<f64>,
     cmax: f64,
+    cmin: f64,
 }
 
 impl IncentiveSchedule {
@@ -143,7 +144,12 @@ impl IncentiveSchedule {
             "costs must be finite, >= 0"
         );
         let cmax = costs.iter().copied().fold(0.0, f64::max);
-        IncentiveSchedule { costs, cmax }
+        let cmin = if costs.is_empty() {
+            0.0
+        } else {
+            costs.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        IncentiveSchedule { costs, cmax, cmin }
     }
 
     /// Incentive `c_i(u)`.
@@ -156,6 +162,13 @@ impl IncentiveSchedule {
     #[inline]
     pub fn cmax(&self) -> f64 {
         self.cmax
+    }
+
+    /// `c_i^min = min_v c_i(v)` — lower bound on any future candidate's
+    /// incentive, used to detect budget-exhausted ads.
+    #[inline]
+    pub fn cmin(&self) -> f64 {
+        self.cmin
     }
 
     /// Number of nodes priced.

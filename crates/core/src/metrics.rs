@@ -30,6 +30,9 @@ pub struct RunStats {
     pub sample_capped: bool,
     /// Candidate evaluations performed (lazy-evaluation ablation metric).
     pub candidate_evaluations: u64,
+    /// Ads retired early because their remaining budget headroom could not
+    /// cover any feasible candidate payment (they stop proposing).
+    pub budget_exhausted_ads: usize,
 }
 
 impl RunStats {

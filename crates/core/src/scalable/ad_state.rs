@@ -1,15 +1,15 @@
 //! Per-advertiser state of the scalable engine.
 
-use rm_diffusion::AdProbs;
 use rm_graph::NodeId;
-use rm_rrsets::{KptEstimator, LazyGreedyHeap, RrCoverage};
+use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage};
 
 /// Everything the engine tracks for one advertiser.
 pub(crate) struct AdState {
     /// Ad index.
     pub idx: usize,
-    /// Flattened edge probabilities of this ad.
-    pub probs: AdProbs,
+    /// Prepared sampling tables for this ad's edge probabilities — gathered
+    /// once, reused by every incremental growth batch.
+    pub sampler: PreparedSampler,
     /// Coverage index over the ad's RR sample.
     pub cov: RrCoverage,
     /// Current sample size θ_j.

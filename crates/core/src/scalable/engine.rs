@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use rm_graph::NodeId;
 use rm_rrsets::{
-    sample_rr_batch, sample_size, KptEstimator, LazyGreedyHeap, RrCoverage, TimConfig,
+    sample_size, stream_seed, KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, TimConfig,
 };
 
 use crate::allocation::SeedAllocation;
@@ -159,7 +159,7 @@ impl<'a> TiEngine<'a> {
             stats.latent_size_per_ad[i] = st.s_latent;
             stats.revenue_per_ad[i] = st.pi(self.inst.ads[i].cpe, n);
             stats.seeding_cost_per_ad[i] = st.cost_total;
-            stats.rr_memory_bytes += st.cov.memory_bytes();
+            stats.rr_memory_bytes += st.cov.memory_bytes() + st.sampler.memory_bytes();
             stats.rr_sets_sampled += st.samples;
             stats.sample_capped |= st.capped;
             alloc.seeds[i] = st.seeds;
@@ -169,58 +169,120 @@ impl<'a> TiEngine<'a> {
     }
 
     /// Lines 1–4: pilot KPT estimation, initial θ and sample, heaps/orders.
+    ///
+    /// Each ad's pilot + initial sample is independent of every other ad's,
+    /// so the initializations fan out across scoped worker threads pulling
+    /// ad indices from a shared counter. The worker count is bounded by the
+    /// core count — not the ad count — so a wide campaign cannot
+    /// oversubscribe the machine or hold every ad's transient sampling
+    /// tables live at once. Results are keyed by ad index, so the output
+    /// (and every downstream tie-break) is deterministic regardless of
+    /// scheduling.
     fn init_ads(&self, tim: &TimConfig) -> Vec<AdState> {
-        let n = self.inst.num_nodes();
-        let g = &self.inst.graph;
+        let h = self.inst.num_ads();
         let needs_pagerank = matches!(
             self.kind,
             AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
         );
-        let pr_orders: Vec<Vec<NodeId>> = if needs_pagerank {
+        let mut pr_orders: Vec<Vec<NodeId>> = if needs_pagerank {
             crate::baselines::pagerank_orders(self.inst)
         } else {
             Vec::new()
         };
+        pr_orders.resize(h, Vec::new());
 
-        let mut ads = Vec::with_capacity(self.inst.num_ads());
-        for j in 0..self.inst.num_ads() {
-            let probs = self.inst.ad_probs[j].clone();
-            let kpt = KptEstimator::estimate(
-                g,
-                &probs,
-                1,
-                tim,
-                self.cfg.seed ^ 0x4B50_7E57 ^ ((j as u64) << 16),
-            );
-            let s_latent = 1usize;
-            let theta = sample_size(n, s_latent, tim, kpt.opt_lower_bound(s_latent));
-            let capped = theta >= tim.max_sets_per_ad;
-            let sample_seed = self.cfg.seed ^ 0x005A_3D17 ^ ((j as u64) << 20);
-            let (sets, _) = sample_rr_batch(g, &probs, theta, sample_seed, 0);
-            let mut cov = RrCoverage::new(n);
-            cov.add_batch(&sets, &vec![false; n]);
-            let heap = self.build_heap(&cov, j, &vec![false; n]);
-            let st = AdState {
-                idx: j,
-                probs,
-                cov,
-                theta,
-                s_latent,
-                kpt,
-                seeds: Vec::new(),
-                is_seed: vec![false; n],
-                cost_total: 0.0,
-                heap,
-                pr_order: pr_orders.get(j).cloned().unwrap_or_default(),
-                pr_cursor: 0,
-                exhausted: false,
-                sample_seed,
-                samples: theta as u64,
-                capped,
-            };
-            ads.push(st);
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let workers = cores.min(h).max(1);
+        // Split the thread budget between the two fan-out layers: `workers`
+        // ad initializations in flight, each allowed `cores / workers`
+        // sampler threads, so the product stays at the core count.
+        let inner_threads = (cores / workers).max(1);
+        if workers == 1 {
+            return pr_orders
+                .drain(..)
+                .enumerate()
+                .map(|(j, pr_order)| self.init_ad(j, tim, pr_order, inner_threads))
+                .collect();
         }
-        ads
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<AdState>>> =
+            (0..h).map(|_| std::sync::Mutex::new(None)).collect();
+        let pr_orders = &pr_orders;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let slots = &slots;
+                    scope.spawn(move || loop {
+                        let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if j >= h {
+                            break;
+                        }
+                        let st = self.init_ad(j, tim, pr_orders[j].clone(), inner_threads);
+                        *slots[j].lock().expect("ad-init slot poisoned") = Some(st);
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("ad-init worker panicked");
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("ad-init slot poisoned")
+                    .expect("ad-init worker skipped an ad")
+            })
+            .collect()
+    }
+
+    /// Initializes one ad's state (KPT pilot, θ, initial RR sample, heap).
+    ///
+    /// Per-ad seeds are derived by chained mixing ([`stream_seed`]) rather
+    /// than xor-ing a shifted ad index into the master seed: xor composition
+    /// made ad `j`'s set `i` share its RNG stream with ad `j'`'s set
+    /// `i ^ ((j ^ j') << 20)`, duplicating RR sets across advertisers once
+    /// samples grew past the shift.
+    fn init_ad(&self, j: usize, tim: &TimConfig, pr_order: Vec<NodeId>, threads: usize) -> AdState {
+        let n = self.inst.num_nodes();
+        let g = &self.inst.graph;
+        let probs = &self.inst.ad_probs[j];
+        let mut sampler = PreparedSampler::new(g, probs);
+        sampler.set_thread_cap(threads);
+        let kpt_seed = stream_seed(self.cfg.seed ^ 0x4B50_7E57, j as u64);
+        let kpt = KptEstimator::estimate_with_sampler(g, &sampler, 1, tim, kpt_seed);
+        let s_latent = 1usize;
+        let theta = sample_size(n, s_latent, tim, kpt.opt_lower_bound(s_latent));
+        let capped = theta >= tim.max_sets_per_ad;
+        let sample_seed = stream_seed(self.cfg.seed ^ 0x005A_3D17, j as u64);
+        let (sets, _) = sampler.sample_batch(g, theta, sample_seed, 0);
+        // Growth batches run one ad at a time: restore full parallelism.
+        sampler.set_thread_cap(usize::MAX);
+        let no_seeds = vec![false; n];
+        let mut cov = RrCoverage::new(n);
+        cov.add_batch(&sets, &no_seeds);
+        let heap = self.build_heap(&cov, j, &no_seeds);
+        AdState {
+            idx: j,
+            sampler,
+            cov,
+            theta,
+            s_latent,
+            kpt,
+            seeds: Vec::new(),
+            is_seed: vec![false; n],
+            cost_total: 0.0,
+            heap,
+            pr_order,
+            pr_cursor: 0,
+            exhausted: false,
+            sample_seed,
+            samples: theta as u64,
+            capped,
+        }
     }
 
     /// Builds (or rebuilds) an ad's candidate heap for the current sample.
@@ -506,19 +568,39 @@ impl<'a> TiEngine<'a> {
                 s_new += (headroom / denom).floor() as usize;
             }
         }
-        if s_new <= st.s_latent && st.seeds.len() < st.s_latent {
+        if s_new <= st.s_latent {
+            // No latent growth (Eq. 10 projects no further affordable
+            // seeds). If the remaining headroom cannot cover even the
+            // cheapest conceivable candidate — incentive at least c_min,
+            // plus Δπ ≥ cpe·n/θ for the coverage-driven algorithms, whose
+            // candidates always have coverage ≥ 1 — every future proposal
+            // is infeasible (ρ only grows between sample updates), so retire
+            // the ad instead of re-evaluating a doomed candidate each round.
+            let min_dpi = match self.kind {
+                AlgorithmKind::TiCarm | AlgorithmKind::TiCsrm => {
+                    ad.cpe * n as f64 / st.theta.max(1) as f64
+                }
+                // PageRank candidates may have zero coverage, hence zero Δπ.
+                AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => 0.0,
+            };
+            // Same BUDGET_EPS slack as `choose_winner`'s feasibility test,
+            // so a boundary candidate the selection rule would accept is
+            // never retired away.
+            if headroom + BUDGET_EPS < self.inst.incentives[st.idx].cmin() + min_dpi {
+                st.exhausted = true;
+                stats.budget_exhausted_ads += 1;
+            }
             return;
         }
-        st.s_latent = s_new.max(st.s_latent);
+        st.s_latent = s_new;
         let opt = st.kpt.opt_lower_bound(st.s_latent);
         let theta_new = sample_size(n, st.s_latent, tim, opt).max(st.theta);
         if theta_new >= tim.max_sets_per_ad {
             st.capped = true;
         }
         if theta_new > st.theta {
-            let (sets, _) = sample_rr_batch(
+            let (sets, _) = st.sampler.sample_batch(
                 &self.inst.graph,
-                &st.probs,
                 theta_new - st.theta,
                 st.sample_seed,
                 st.theta as u64,

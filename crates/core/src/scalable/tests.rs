@@ -235,6 +235,48 @@ fn sample_cap_is_reported() {
     assert!(stats.theta_per_ad.iter().all(|&t| t <= 500));
 }
 
+/// Deterministic chain gadget (p = 1, exact σ = [4, 3, 2, 1]): with linear
+/// incentives at α = 0.25, seeding node 0 costs 1 and yields revenue 4, so
+/// ρ = 5 exactly after the first commit.
+fn chain_instance(budget: f64) -> RmInstance {
+    let g = Arc::new(rm_graph::builder::graph_from_edges(
+        4,
+        &[(0, 1), (1, 2), (2, 3)],
+    ));
+    let tic = TicModel::uniform(&g, 1.0);
+    let ads = vec![Advertiser::new(1.0, budget, TopicDistribution::uniform(1))];
+    RmInstance::build(
+        g,
+        &tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.25 },
+        SingletonMethod::MonteCarlo { runs: 10 },
+        1,
+    )
+}
+
+#[test]
+fn budget_exhausted_ad_is_retired() {
+    // Budget 5.1: after committing node 0 the headroom (0.1) is below the
+    // cheapest possible candidate payment (c_min = 0.25), so the ad must be
+    // retired instead of proposing infeasible candidates forever.
+    let inst = chain_instance(5.1);
+    let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCarm, test_cfg(3)).run();
+    assert_eq!(alloc.seeds, vec![vec![0]]);
+    assert_eq!(stats.budget_exhausted_ads, 1);
+    assert_eq!(stats.rounds, 1);
+}
+
+#[test]
+fn ample_headroom_does_not_retire_the_ad() {
+    // Budget 10: plenty of headroom after node 0; the ad ends by heap
+    // exhaustion (everything covered), not by the budget guard.
+    let inst = chain_instance(10.0);
+    let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCarm, test_cfg(3)).run();
+    assert_eq!(alloc.seeds, vec![vec![0]]);
+    assert_eq!(stats.budget_exhausted_ads, 0);
+}
+
 #[test]
 fn topical_instance_allocates_competing_pairs() {
     // Two ads in pure competition on a 10-topic TIC model: their seed sets

@@ -48,10 +48,10 @@ pub fn rr_singleton_spreads(g: &CsrGraph, probs: &AdProbs, theta: usize, seed: u
     }
     let (sets, _) = sample_rr_batch(g, probs, theta, seed, 0);
     let mut counts = vec![0u64; n];
-    for set in &sets {
-        for &u in set {
-            counts[u as usize] += 1;
-        }
+    // Membership counting does not care about set boundaries: scan the
+    // arena's concatenated node storage directly.
+    for &u in sets.node_slice() {
+        counts[u as usize] += 1;
     }
     let scale = n as f64 / theta as f64;
     counts.into_iter().map(|c| c as f64 * scale).collect()

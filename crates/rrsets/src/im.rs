@@ -48,15 +48,15 @@ pub fn tim_influence_maximization(
     let kpt = KptEstimator::estimate(g, probs, k, cfg, seed ^ 0x71AD);
     let theta = sample_size(n, k, cfg, kpt.opt_lower_bound(k));
     let (sets, _) = sample_rr_batch(g, probs, theta, seed, 0);
+    let no_seeds = vec![false; n];
     let mut cov = RrCoverage::new(n);
-    cov.add_batch(&sets, &vec![false; n]);
+    cov.add_batch(&sets, &no_seeds);
+    // `greedy_max_coverage` works on an internal clone, so `cov` is still
+    // pristine — replay the picks on it for the spread estimate.
     let seeds = cov.greedy_max_coverage(k);
-    // Re-derive the covered count for the spread estimate.
-    let mut cov2 = RrCoverage::new(n);
-    cov2.add_batch(&sets, &vec![false; n]);
     let mut covered = 0u64;
     for &s in &seeds {
-        covered += cov2.cover_with(s) as u64;
+        covered += cov.cover_with(s) as u64;
     }
     ImResult {
         seeds,

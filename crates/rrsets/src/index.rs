@@ -11,25 +11,100 @@
 //!   already hit by an existing seed are recorded as covered on arrival,
 //!   which is Algorithm 3's `UpdateEstimates` in incremental form;
 //! * `memory_bytes()` — byte accounting behind the paper's Table 3.
+//!
+//! Everything is flat: sets arrive in an [`RrArena`] and are stored as CSR
+//! arrays, and the node → set-ids inverted index is a byte-compressed CSR
+//! rebuilt by counting sort — no per-set or per-node heap allocations, no
+//! `Vec` headers. Counting sort emits each node's set ids in ascending
+//! order, so the inverted lists store LEB128 varint *deltas* (~2 bytes per
+//! entry instead of 4 on Table-3-style samples). Small growth batches
+//! append to a pending tail instead of triggering a rebuild; rebuilds fire
+//! once the tail (or the covered fraction) is worth folding in, and also
+//! *compact*: sets covered by committed seeds are dropped from both
+//! directions (their contribution lives on in `covered_total`), so resident
+//! memory tracks the live sample instead of everything ever ingested.
 
 use rm_graph::NodeId;
 
+use crate::arena::RrArena;
+
+/// Bytes the LEB128 varint encoding of `x` occupies.
+#[inline]
+fn varint_len(x: u32) -> u32 {
+    (31 - (x | 1).leading_zeros()) / 7 + 1
+}
+
+/// Appends the LEB128 varint encoding of `x` at `out[*k..]`, advancing `*k`.
+#[inline]
+fn varint_write(out: &mut [u8], k: &mut usize, mut x: u32) {
+    while x >= 0x80 {
+        out[*k] = (x as u8 & 0x7f) | 0x80;
+        *k += 1;
+        x >>= 7;
+    }
+    out[*k] = x as u8;
+    *k += 1;
+}
+
+/// Decodes the LEB128 varint at `bytes[*k..]`, advancing `*k`.
+#[inline]
+fn varint_read(bytes: &[u8], k: &mut usize) -> u32 {
+    let mut x = 0u32;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*k];
+        *k += 1;
+        x |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
 /// Coverage index over RR sets for a single advertiser.
-#[derive(Clone, Debug, Default)]
+///
+/// Only *live* (uncovered) sets occupy storage; `covered` flags sets covered
+/// since the last `add_batch` rebuild. The θ denominator is the separate
+/// `total_sets` counter, which keeps counting dropped sets.
+#[derive(Clone, Debug)]
 pub struct RrCoverage {
     n: usize,
-    /// Flattened node storage for uncovered-on-arrival sets.
-    set_offsets: Vec<u64>,
+    /// Flat forward storage of live sets: set `sid` is
+    /// `set_nodes[set_offsets[sid] .. set_offsets[sid + 1]]`.
+    set_offsets: Vec<u32>,
     set_nodes: Vec<NodeId>,
-    /// Inverted index: node -> ids of sets it appears in (may contain ids of
-    /// sets covered later; those are skipped on traversal).
-    node_sets: Vec<Vec<u32>>,
+    /// Inverted index, byte-compressed CSR: node `v`'s live set ids are the
+    /// delta-decoded varints in `inv_bytes[inv_offsets[v] ..
+    /// inv_offsets[v + 1]]` (first value absolute, the rest ascending
+    /// deltas). Ids of sets covered since the last rebuild remain listed and
+    /// are skipped on traversal.
+    inv_offsets: Vec<u32>,
+    inv_bytes: Vec<u8>,
     covered: Vec<bool>,
+    /// Sets with id `>= indexed_sets` are *pending*: stored forward but not
+    /// yet in the inverted CSR (`cover_with` scans them linearly). A rebuild
+    /// folds them in once they outgrow an eighth of the indexed entries, so
+    /// many tiny growth batches cost amortized `O(batch)` instead of a full
+    /// rebuild each.
+    indexed_sets: usize,
+    /// `covered` flags that are true (all storage-resident covered sets).
+    covered_live: usize,
     /// Current uncovered-set count per node.
     cov: Vec<u32>,
     /// Sets covered by committed seeds (numerator of the spread estimate).
     covered_total: usize,
-    inverted_entries: usize,
+    /// Sets ever added (the θ denominator), including compacted-away ones.
+    total_sets: usize,
+}
+
+impl Default for RrCoverage {
+    /// An index over zero nodes — `new(0)`, preserving the `set_offsets`
+    /// sentinel every method relies on (a derived default would panic in
+    /// `add_batch`).
+    fn default() -> Self {
+        RrCoverage::new(0)
+    }
 }
 
 impl RrCoverage {
@@ -39,18 +114,21 @@ impl RrCoverage {
             n,
             set_offsets: vec![0],
             set_nodes: Vec::new(),
-            node_sets: vec![Vec::new(); n],
+            inv_offsets: vec![0; n + 1],
+            inv_bytes: Vec::new(),
             covered: Vec::new(),
+            indexed_sets: 0,
+            covered_live: 0,
             cov: vec![0; n],
             covered_total: 0,
-            inverted_entries: 0,
+            total_sets: 0,
         }
     }
 
     /// Total number of sets ever added (the θ denominator).
     #[inline]
     pub fn num_sets(&self) -> usize {
-        self.covered.len()
+        self.total_sets
     }
 
     /// Number of sets covered by the committed seeds.
@@ -70,52 +148,157 @@ impl RrCoverage {
     /// a seed are immediately counted as covered (Algorithm 3 semantics), so
     /// the seed set's spread estimate stays consistent with the enlarged
     /// sample. Returns how many of the new sets arrived covered.
-    pub fn add_batch(&mut self, sets: &[Vec<NodeId>], is_seed: &[bool]) -> usize {
+    ///
+    /// New uncovered sets append to the forward storage as a *pending* tail
+    /// in amortized `O(batch entries)`; a compacting counting-sort rebuild
+    /// (`O(n + live entries)`) folds the tail into the inverted CSR only
+    /// once it outgrows an eighth of the indexed entries — or once covered
+    /// sets are worth reclaiming — so a run of tiny growth batches stays
+    /// linear overall.
+    pub fn add_batch(&mut self, sets: &RrArena, is_seed: &[bool]) -> usize {
         assert_eq!(is_seed.len(), self.n, "seed mask must cover every node");
         let mut arrived_covered = 0;
-        for set in sets {
-            let sid = self.covered.len() as u32;
+        let to_u32 = |len: usize| u32::try_from(len).expect("coverage index exceeds u32 entries");
+        for set in sets.iter() {
             if set.iter().any(|&u| is_seed[u as usize]) {
-                // Covered on arrival: no node registration needed.
-                self.covered.push(true);
+                // Covered on arrival: contributes to `covered_total` and θ,
+                // occupies no storage.
                 self.covered_total += 1;
                 arrived_covered += 1;
-                self.set_offsets.push(self.set_nodes.len() as u64);
             } else {
-                self.covered.push(false);
                 for &u in set {
-                    self.node_sets[u as usize].push(sid);
                     self.cov[u as usize] += 1;
-                    self.inverted_entries += 1;
                 }
                 self.set_nodes.extend_from_slice(set);
-                self.set_offsets.push(self.set_nodes.len() as u64);
+                self.set_offsets.push(to_u32(self.set_nodes.len()));
+                self.covered.push(false);
             }
         }
+        self.total_sets += sets.len();
+
+        let indexed_entries = self.set_offsets[self.indexed_sets] as usize;
+        let pending_entries = self.set_nodes.len() - indexed_entries;
+        let needs_fold = pending_entries * 8 >= indexed_entries + 1024;
+        let needs_compaction = self.covered_live * 4 >= self.covered.len().max(1);
+        if needs_fold || needs_compaction {
+            self.rebuild();
+        }
         arrived_covered
+    }
+
+    /// Compacting counting-sort rebuild: drops covered sets from the forward
+    /// storage (renumbering survivors into exact-capacity arrays; the
+    /// transient old+new overlap is the rebuild's high-water), then rebuilds
+    /// the inverted CSR over every live set. Counting sort visits set ids in
+    /// ascending order per node, so each list is stored as LEB128 deltas
+    /// (first id absolute, then the gaps).
+    fn rebuild(&mut self) {
+        let live_entries: usize = self.cov.iter().map(|&c| c as usize).sum();
+        let old_offsets = std::mem::take(&mut self.set_offsets);
+        let old_nodes = std::mem::take(&mut self.set_nodes);
+        let old_covered = std::mem::take(&mut self.covered);
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(live_entries);
+        let mut offsets: Vec<u32> = Vec::with_capacity(old_covered.len() - self.covered_live + 1);
+        offsets.push(0);
+        let to_u32 = |len: usize| u32::try_from(len).expect("coverage index exceeds u32 entries");
+        for sid in 0..old_covered.len() {
+            if old_covered[sid] {
+                continue;
+            }
+            nodes.extend_from_slice(
+                &old_nodes[old_offsets[sid] as usize..old_offsets[sid + 1] as usize],
+            );
+            offsets.push(to_u32(nodes.len()));
+        }
+        drop(old_nodes);
+        let live_count = offsets.len() - 1;
+        self.set_offsets = offsets;
+        self.set_nodes = nodes;
+        self.covered = vec![false; live_count];
+        self.covered_live = 0;
+        self.indexed_sets = live_count;
+
+        // Sizing pass first: per-node encoded byte length, prefix-summed
+        // into offsets.
+        let mut byte_len = vec![0u32; self.n];
+        let mut prev = vec![0u32; self.n];
+        for sid in 0..live_count {
+            let a = self.set_offsets[sid] as usize;
+            let b = self.set_offsets[sid + 1] as usize;
+            for &u in &self.set_nodes[a..b] {
+                byte_len[u as usize] += varint_len(sid as u32 - prev[u as usize]);
+                prev[u as usize] = sid as u32;
+            }
+        }
+        self.inv_offsets.clear();
+        self.inv_offsets.reserve(self.n + 1);
+        self.inv_offsets.push(0);
+        let mut acc = 0u32;
+        for &len in &byte_len {
+            acc = acc
+                .checked_add(len)
+                .expect("inverted index exceeds u32 bytes");
+            self.inv_offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = self.inv_offsets[..self.n]
+            .iter()
+            .map(|&o| o as usize)
+            .collect();
+        prev.fill(0);
+        self.inv_bytes = vec![0; acc as usize];
+        for sid in 0..live_count {
+            let a = self.set_offsets[sid] as usize;
+            let b = self.set_offsets[sid + 1] as usize;
+            for &u in &self.set_nodes[a..b] {
+                varint_write(
+                    &mut self.inv_bytes,
+                    &mut cursor[u as usize],
+                    sid as u32 - prev[u as usize],
+                );
+                prev[u as usize] = sid as u32;
+            }
+        }
     }
 
     /// Commits `v` as a seed: covers all its uncovered sets, decrementing the
     /// coverage of every other member node. Returns the number of newly
     /// covered sets (the marginal coverage of `v` at commit time).
     pub fn cover_with(&mut self, v: NodeId) -> u32 {
-        let sids = std::mem::take(&mut self.node_sets[v as usize]);
+        let mut k = self.inv_offsets[v as usize] as usize;
+        let end = self.inv_offsets[v as usize + 1] as usize;
+        let mut sid = 0u32;
         let mut newly = 0u32;
-        for sid in sids {
-            if self.covered[sid as usize] {
-                continue;
+        while k < end {
+            sid += varint_read(&self.inv_bytes, &mut k);
+            if !self.covered[sid as usize] {
+                self.cover_set(sid as usize);
+                newly += 1;
             }
-            self.covered[sid as usize] = true;
-            newly += 1;
-            let a = self.set_offsets[sid as usize] as usize;
-            let b = self.set_offsets[sid as usize + 1] as usize;
-            for &w in &self.set_nodes[a..b] {
-                self.cov[w as usize] -= 1;
+        }
+        // Pending sets are not in the inverted CSR yet: scan the tail for
+        // membership (bounded to an eighth of the index by the fold rule).
+        for sid in self.indexed_sets..self.covered.len() {
+            let a = self.set_offsets[sid] as usize;
+            let b = self.set_offsets[sid + 1] as usize;
+            if !self.covered[sid] && self.set_nodes[a..b].contains(&v) {
+                self.cover_set(sid);
+                newly += 1;
             }
         }
         debug_assert_eq!(self.cov[v as usize], 0);
         self.covered_total += newly as usize;
+        self.covered_live += newly as usize;
         newly
+    }
+
+    /// Marks one live set covered, decrementing its members' counts.
+    fn cover_set(&mut self, sid: usize) {
+        self.covered[sid] = true;
+        let a = self.set_offsets[sid] as usize;
+        let b = self.set_offsets[sid + 1] as usize;
+        for &w in &self.set_nodes[a..b] {
+            self.cov[w as usize] -= 1;
+        }
     }
 
     /// Maximum current coverage over nodes not excluded by `skip`
@@ -130,15 +313,16 @@ impl RrCoverage {
         best
     }
 
-    /// Estimated resident bytes of the index (flattened sets + inverted lists
-    /// + per-node/per-set bookkeeping). This is what Table 3 reports.
+    /// Resident bytes of the index: flattened sets, the inverted CSR, and
+    /// per-node/per-set bookkeeping. Capacity-based — this is what the
+    /// allocator actually holds, and what Table 3 reports.
     pub fn memory_bytes(&self) -> usize {
-        4 * self.set_nodes.len()
-            + 8 * self.set_offsets.len()
-            + 4 * self.inverted_entries
-            + 4 * self.n // cov
-            + self.covered.len() // bool per set
-            + 24 * self.n // Vec headers of node_sets
+        4 * self.set_nodes.capacity()
+            + 4 * self.set_offsets.capacity()
+            + 4 * self.inv_offsets.capacity()
+            + self.inv_bytes.capacity()
+            + 4 * self.cov.capacity()
+            + self.covered.capacity()
     }
 
     /// Plain greedy max-coverage of size `k` (test oracle / IM baseline).
@@ -262,8 +446,7 @@ mod tests {
     /// Index over hand-rolled sets: ids are assigned in insertion order.
     fn build(n: usize, sets: &[&[NodeId]]) -> RrCoverage {
         let mut idx = RrCoverage::new(n);
-        let owned: Vec<Vec<NodeId>> = sets.iter().map(|s| s.to_vec()).collect();
-        idx.add_batch(&owned, &vec![false; n]);
+        idx.add_batch(&sets.iter().copied().collect(), &vec![false; n]);
         idx
     }
 
@@ -296,7 +479,8 @@ mod tests {
         let mut seeds = vec![false; 3];
         seeds[0] = true;
         // New batch: one set hits seed 0, one does not.
-        let covered = idx.add_batch(&[vec![0, 1], vec![2]], &seeds);
+        let batch: RrArena = [&[0u32, 1][..], &[2][..]].into_iter().collect();
+        let covered = idx.add_batch(&batch, &seeds);
         assert_eq!(covered, 1);
         assert_eq!(idx.num_sets(), 3);
         assert_eq!(idx.covered_total(), 2);
@@ -320,27 +504,66 @@ mod tests {
     }
 
     #[test]
-    fn memory_accounting_grows() {
+    fn memory_accounting_grows_monotonically() {
         let mut idx = RrCoverage::new(100);
+        let initial = idx.memory_bytes();
+        let mut last = initial;
+        for round in 0..4u32 {
+            let sets: RrArena = (0..50u32).map(|i| vec![i, (i + round) % 100]).collect();
+            idx.add_batch(&sets, &[false; 100]);
+            let now = idx.memory_bytes();
+            // Capacity-based accounting is monotone: capacities never shrink
+            // (a batch that fits in reserved slack reports the same bytes).
+            assert!(
+                now >= last,
+                "round {round}: memory {now} shrank below {last}"
+            );
+            last = now;
+        }
+        assert!(last > initial, "adding sets must grow resident bytes");
+        // Capacity-based accounting never under-reports the live entries.
+        assert!(last >= 4 * idx.set_nodes.len() + idx.inv_bytes.len());
+    }
+
+    #[test]
+    fn default_index_is_usable() {
+        // Regression: a derived Default left `set_offsets` empty, panicking
+        // in add_batch instead of no-op'ing like the seed implementation.
+        let mut idx = RrCoverage::default();
+        assert_eq!(idx.add_batch(&RrArena::new(), &[]), 0);
+        assert_eq!(idx.num_sets(), 0);
+    }
+
+    #[test]
+    fn compaction_reclaims_covered_sets() {
+        // A hub covering most sets: the next add_batch rebuild must drop the
+        // covered sets' storage, shrinking resident bytes below the
+        // pre-cover level despite θ growing.
+        let mut idx = RrCoverage::new(50);
+        let big: RrArena = (0..400u32).map(|i| vec![0, 1 + i % 49]).collect();
+        idx.add_batch(&big, &[false; 50]);
         let before = idx.memory_bytes();
-        let sets: Vec<Vec<NodeId>> = (0..50)
-            .map(|i| vec![i as NodeId, (i + 1) as NodeId])
-            .collect();
-        idx.add_batch(&sets, &[false; 100]);
-        assert!(idx.memory_bytes() > before);
+        assert_eq!(idx.cover_with(0), 400);
+        let mut seeds = [false; 50];
+        seeds[0] = true;
+        let small: RrArena = (0..10u32).map(|i| vec![1 + i % 49]).collect();
+        idx.add_batch(&small, &seeds);
+        assert_eq!(idx.num_sets(), 410, "θ keeps counting dropped sets");
+        assert!(
+            idx.memory_bytes() < before / 2,
+            "compaction should reclaim covered sets: {} vs {before}",
+            idx.memory_bytes()
+        );
+        assert_eq!(idx.covered_total(), 400);
+        assert_eq!(idx.coverage(1), 1);
     }
 
     #[test]
     fn lazy_heap_matches_eager_greedy() {
         // Lazily select 3 seeds by coverage and compare with the eager oracle.
-        let sets: Vec<Vec<NodeId>> = vec![
-            vec![0, 1],
-            vec![0, 2],
-            vec![1, 2, 3],
-            vec![3],
-            vec![3, 4],
-            vec![4, 0],
-        ];
+        let sets: RrArena = [&[0u32, 1][..], &[0, 2], &[1, 2, 3], &[3], &[3, 4], &[4, 0]]
+            .into_iter()
+            .collect();
         let mut idx = RrCoverage::new(5);
         idx.add_batch(&sets, &[false; 5]);
         let eager = idx.greedy_max_coverage(3);

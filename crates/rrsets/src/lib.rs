@@ -6,11 +6,17 @@
 //! * [`sampler`]: random **RR-set** generation under ad-specific edge
 //!   probabilities — pick a uniform target `w`, then traverse *incoming*
 //!   edges, keeping each independently with its probability; the resulting
-//!   node set `R` satisfies `σ(S) = n · Pr[S ∩ R ≠ ∅]`.
-//! * [`index`]: the **coverage index** used by the greedy loops — per-node
-//!   inverted lists, incremental covered-set bookkeeping, support for
-//!   *growing* the sample mid-run (Algorithm 3 `UpdateEstimates`), byte-level
-//!   memory accounting (Table 3), and CELF-style lazy-greedy heaps.
+//!   node set `R` satisfies `σ(S) = n · Pr[S ∩ R ≠ ∅]`. Batches sample into
+//!   per-thread [`arena`]s (no per-set allocation) spliced in index order,
+//!   with per-set RNG streams derived by chained SplitMix64 mixing
+//!   ([`sampler::stream_seed`]).
+//! * [`arena`]: **flat CSR storage** for RR-set batches — an `offsets`/
+//!   `nodes` array pair replacing `Vec<Vec<NodeId>>` end-to-end.
+//! * [`index`]: the **coverage index** used by the greedy loops — a flat
+//!   counting-sort CSR inverted index, incremental covered-set bookkeeping,
+//!   support for *growing* the sample mid-run (Algorithm 3
+//!   `UpdateEstimates`), capacity-based byte accounting (Table 3), and
+//!   CELF-style lazy-greedy heaps.
 //! * [`tim`]: **sample-size determination** — `L(s, ε)` of Eq. 8 and TIM's
 //!   KPT* estimation of the `OPT_s` lower bound, with cached RR-set widths so
 //!   the bound can be re-evaluated for a growing seed-set size `s` without
@@ -20,14 +26,16 @@
 //!   from one sample) and for algorithm-independent evaluation of final
 //!   allocations.
 
+pub mod arena;
 pub mod estimator;
 pub mod im;
 pub mod index;
 pub mod sampler;
 pub mod tim;
 
+pub use arena::RrArena;
 pub use estimator::{rr_estimate_spread, rr_singleton_spreads};
 pub use im::{tim_influence_maximization, ImResult};
 pub use index::{LazyGreedyHeap, RrCoverage};
-pub use sampler::{sample_rr_batch, sample_rr_set, RrWorkspace};
+pub use sampler::{sample_rr_batch, sample_rr_set, stream_seed, PreparedSampler, RrWorkspace};
 pub use tim::{log_choose, sample_size, KptEstimator, TimConfig};

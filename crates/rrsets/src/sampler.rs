@@ -1,16 +1,22 @@
 //! Random reverse-reachable set generation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use rm_diffusion::AdProbs;
 use rm_graph::{CsrGraph, NodeId};
 
+use crate::arena::RrArena;
+
 /// Reusable scratch for RR-set sampling (epoch-stamped visited array).
+///
+/// Epochs are a single byte on purpose: the visited array is hit once per
+/// traversed in-edge in random order, so its footprint decides whether the
+/// hot loop runs from L1/L2 or from further out. Wrap-around every 255
+/// epochs costs one `fill(0)` — noise next to the traversal itself.
 #[derive(Clone, Debug)]
 pub struct RrWorkspace {
-    mark: Vec<u32>,
-    epoch: u32,
+    mark: Vec<u8>,
+    epoch: u8,
 }
 
 impl RrWorkspace {
@@ -77,6 +83,229 @@ pub fn sample_rr_set<R: Rng + ?Sized>(
     width
 }
 
+/// One in-edge of the gathered traversal table: source node and an integer
+/// acceptance threshold replacing the float probability (see [`threshold`]).
+/// Fusing both into one 8-byte record gives the BFS hot loop a single
+/// sequential stream instead of two parallel arrays plus an edge-id gather.
+#[derive(Clone, Copy)]
+struct InSlot {
+    src: NodeId,
+    thr: u32,
+}
+
+/// Integer acceptance threshold exactly replicating `rng.random::<f32>() < p`:
+/// the shim's f32 draw is `(next_u32() >> 8) · 2⁻²⁴` with every value exactly
+/// representable, so the float comparison is equivalent to
+/// `(next_u32() >> 8) < ceil(p · 2²⁴)` — one shift and one integer compare.
+#[inline]
+fn threshold(p: f32) -> u32 {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    (f64::from(p) * 16_777_216.0).ceil() as u32
+}
+
+/// Minimum in-degree for geometric skipping to beat per-edge coin flips
+/// (a skip draw costs an `ln`, a per-edge draw is a shift-and-compare).
+const SKIP_MIN_DEGREE: usize = 16;
+
+/// Gathers edge probabilities (as thresholds) into in-slot order so the BFS
+/// reads them sequentially instead of through the canonical-edge-id
+/// indirection.
+///
+/// Also returns the per-node geometric-skip parameter `ln(1 − p)`: when every
+/// in-edge of a node carries the same acceptance threshold (always true for
+/// Weighted Cascade, where p = 1/indeg), the BFS can jump straight to the
+/// next accepted in-edge with one RNG draw — `skip = ⌊ln(1−U)/ln(1−p)⌋` —
+/// instead of flipping a coin per edge. `p` is reconstructed from the shared
+/// threshold (`thr · 2⁻²⁴`), so skip acceptance matches the per-edge path's
+/// effective probability exactly. Mixed-probability nodes get `NAN`
+/// (disabling the skip path); `p = 0` gives `ln(1) = 0` (also disabled,
+/// per-edge consumes no draws there anyway).
+fn gather_slots(g: &CsrGraph, probs: &AdProbs) -> (Vec<InSlot>, Vec<f64>) {
+    let (in_sources, in_eids) = g.in_slots();
+    let slots: Vec<InSlot> = in_sources
+        .iter()
+        .zip(in_eids)
+        .map(|(&src, &eid)| InSlot {
+            src,
+            thr: threshold(probs.get(eid)),
+        })
+        .collect();
+    let skip_ln = (0..g.num_nodes() as NodeId)
+        .map(|v| {
+            let (lo, hi) = g.in_slot_range(v);
+            if hi - lo < SKIP_MIN_DEGREE {
+                return f64::NAN;
+            }
+            let thr = slots[lo].thr;
+            if slots[lo + 1..hi].iter().all(|s| s.thr == thr) {
+                (1.0 - f64::from(thr) / 16_777_216.0).ln()
+            } else {
+                f64::NAN
+            }
+        })
+        .collect();
+    (slots, skip_ln)
+}
+
+/// Touches the lines a just-accepted node's expansion will need (its
+/// `in_offsets` entry and first slot record), so the loads are in flight
+/// while the BFS works through the frontier ahead of it. The expansion is a
+/// chain of dependent random accesses — without this the loop stalls on
+/// memory latency, not compute.
+#[inline]
+fn prewarm(g: &CsrGraph, slots: &[InSlot], v: NodeId) {
+    let (lo, _) = g.in_slot_range(v);
+    std::hint::black_box(slots.get(lo).map(|s| s.thr));
+}
+
+/// Counter-based SplitMix64 stream powering the batch hot loop. Xoshiro's
+/// whole 256-bit state update chains between successive draws; here the
+/// serial dependency is a single integer add (the mixing pipelines with the
+/// surrounding traversal), which matters when the loop draws once per edge.
+/// Bit-for-bit draw mapping matches the shim's (`>> 40` for the 24-bit coin,
+/// `>> 11` for the f64), only the generator differs.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    #[inline]
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// 24-bit coin draw, the integer image of the shim's `random::<f32>()`.
+    #[inline]
+    fn next_coin(&mut self) -> u32 {
+        (self.next_u64() >> 40) as u32
+    }
+
+    /// Uniform f64 in `[0, 1)`, mapped exactly like the shim's `f64` draw.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Appends the RR set of stream `set_seed` directly onto `arena` — no
+/// per-set allocation; the BFS frontier *is* the arena tail, so nodes are
+/// written exactly once. Returns the set's width.
+fn sample_rr_set_into(
+    g: &CsrGraph,
+    slots: &[InSlot],
+    skip_ln: &[f64],
+    ws: &mut RrWorkspace,
+    set_seed: u64,
+    arena: &mut RrArena,
+) -> u64 {
+    let n = g.num_nodes();
+    debug_assert!(n > 0, "cannot sample from an empty graph");
+    let mut rng = SplitMix64::new(set_seed);
+    ws.begin();
+    let root = (rng.next_u64() % n as u64) as NodeId;
+    ws.mark[root as usize] = ws.epoch;
+    let start = arena.nodes.len();
+    arena.nodes.push(root);
+    prewarm(g, slots, root);
+
+    let mut width = 0u64;
+    let mut i = start;
+    while i < arena.nodes.len() {
+        let v = arena.nodes[i];
+        i += 1;
+        let (lo, hi) = g.in_slot_range(v);
+        let m = hi - lo;
+        width += m as u64;
+        // Degree gate first: most members are low-degree, and checking `m`
+        // (already loaded) spares their `skip_ln` lookup entirely.
+        if m >= SKIP_MIN_DEGREE && skip_ln[v as usize] < 0.0 {
+            let nl = skip_ln[v as usize];
+            // Uniform in-edge probability: geometric jumps between accepted
+            // edges, one draw per accept instead of one per edge. Accepted
+            // edges to already-visited sources burn their draw harmlessly
+            // (acceptance is independent of visitation), preserving the
+            // per-edge path's distribution exactly. `p = 1` gives
+            // `nl = −∞` ⇒ jump 0, accepting every edge. The cast saturates,
+            // so a tiny `1 − U` cannot overflow `j`.
+            let mut j = 0usize;
+            loop {
+                let u = rng.next_f64();
+                j += ((1.0 - u).ln() / nl) as usize;
+                if j >= m {
+                    break;
+                }
+                let src = slots[lo + j].src;
+                if ws.mark[src as usize] != ws.epoch {
+                    ws.mark[src as usize] = ws.epoch;
+                    arena.nodes.push(src);
+                    prewarm(g, slots, src);
+                }
+                j += 1;
+            }
+        } else {
+            for s in &slots[lo..hi] {
+                if ws.mark[s.src as usize] == ws.epoch {
+                    continue;
+                }
+                // `thr == 0` (p == 0) must not consume a draw, matching the
+                // short-circuit in `sample_rr_set`.
+                if s.thr > 0 && rng.next_coin() < s.thr {
+                    ws.mark[s.src as usize] = ws.epoch;
+                    arena.nodes.push(s.src);
+                    prewarm(g, slots, s.src);
+                }
+            }
+        }
+    }
+    arena.offsets.push(arena.nodes.len() as u64);
+    width
+}
+
+/// Samples the contiguous set-index range `lo..hi` into a fresh arena.
+fn sample_range(
+    g: &CsrGraph,
+    slots: &[InSlot],
+    skip_ln: &[f64],
+    base: u64,
+    first_index: u64,
+    lo: usize,
+    hi: usize,
+) -> (RrArena, Vec<u64>) {
+    let count = hi - lo;
+    let mut arena = RrArena::with_capacity(count, 2 * count);
+    let mut widths = Vec::with_capacity(count);
+    let mut ws = RrWorkspace::new(g.num_nodes());
+    // Mean set size is unknown up front; after a pilot prefix, extrapolate
+    // it so the node storage grows once instead of doubling repeatedly.
+    let pilot = 512.min(count);
+    for idx in lo..lo + pilot {
+        let set_seed = mix64(base ^ (first_index + idx as u64));
+        widths.push(sample_rr_set_into(
+            g, slots, skip_ln, &mut ws, set_seed, &mut arena,
+        ));
+    }
+    if pilot < count {
+        let projected = arena.total_nodes() * count / pilot;
+        arena.reserve_nodes(projected + projected / 8);
+        for idx in lo + pilot..hi {
+            let set_seed = mix64(base ^ (first_index + idx as u64));
+            widths.push(sample_rr_set_into(
+                g, slots, skip_ln, &mut ws, set_seed, &mut arena,
+            ));
+        }
+    }
+    (arena, widths)
+}
+
 /// SplitMix64 — used to derive independent per-set RNG streams so batches are
 /// deterministic in `(seed, set index)` regardless of thread scheduling.
 #[inline]
@@ -88,55 +317,153 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Samples `count` RR sets in parallel. Returns `(sets, widths)`.
+/// Seed of the `idx`-th RNG stream of base seed `seed`, derived by *chained*
+/// mixing: `mix64(mix64(seed) ^ idx)`.
 ///
-/// Set `j` of a call with base seed `s` is always generated from the RNG
-/// stream `mix64(s ^ j)`, so results are reproducible across thread counts.
-/// `first_index` offsets `j`, letting incremental growth of a sample continue
-/// the same logical sequence.
+/// The chaining matters. Xor-composing (`mix64(seed ^ idx)`) lets two base
+/// seeds that differ by a small xor (e.g. per-advertiser salts `j << 20`)
+/// produce byte-identical streams at shifted indices — ad `j`'s set `i` would
+/// equal ad `j'`'s set `i ^ ((j ^ j') << 20)`, silently duplicating RR sets
+/// across advertisers once samples grow past the shift. Passing the base
+/// seed through `mix64` first decorrelates the index spaces. Callers deriving
+/// per-advertiser (or per-round) base seeds should use this same function
+/// with the advertiser index as `idx`.
+#[inline]
+pub fn stream_seed(seed: u64, idx: u64) -> u64 {
+    mix64(mix64(seed) ^ idx)
+}
+
+/// Contiguous, non-overlapping worker ranges covering `0..count`. The last
+/// ranges are clamped (and may be empty) when `count` does not divide evenly.
+fn chunk_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = count.div_ceil(threads);
+    (0..threads)
+        .map(|tid| ((tid * chunk).min(count), ((tid + 1) * chunk).min(count)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Sampling tables prepared once per `(graph, probs)` pair: in-slot-ordered
+/// integer acceptance thresholds plus per-node geometric-skip parameters.
+/// Callers that grow a sample incrementally — the engine adds batches every
+/// latent-size update — should prepare once and reuse, instead of paying
+/// the `O(n + m)` gather per [`sample_rr_batch`] call.
+pub struct PreparedSampler {
+    slots: Vec<InSlot>,
+    skip_ln: Vec<f64>,
+    thread_cap: usize,
+}
+
+impl PreparedSampler {
+    /// Gathers the sampling tables for `probs` on `g`.
+    pub fn new(g: &CsrGraph, probs: &AdProbs) -> Self {
+        let (slots, skip_ln) = gather_slots(g, probs);
+        PreparedSampler {
+            slots,
+            skip_ln,
+            thread_cap: usize::MAX,
+        }
+    }
+
+    /// Caps the worker threads [`Self::sample_batch`] may spawn. Callers
+    /// already running inside their own thread pool (the engine's parallel
+    /// per-ad initialization) set this to their per-worker share so the two
+    /// fan-out layers cannot multiply into oversubscription.
+    pub fn set_thread_cap(&mut self, cap: usize) {
+        self.thread_cap = cap.max(1);
+    }
+
+    /// Resident bytes of the prepared tables (capacity-based).
+    pub fn memory_bytes(&self) -> usize {
+        8 * self.slots.capacity() + 8 * self.skip_ln.capacity()
+    }
+
+    /// Samples `count` RR sets in parallel over `g` — which must be the graph
+    /// this sampler was prepared on. Returns `(sets, widths)` with the sets
+    /// stored flat in an [`RrArena`].
+    ///
+    /// Set `j` of a call with base seed `s` is always generated from the RNG
+    /// stream [`stream_seed`]`(s, j)`, so results are reproducible across
+    /// thread counts. `first_index` offsets `j`, letting incremental growth
+    /// of a sample continue the same logical sequence.
+    ///
+    /// Each worker thread samples its contiguous index range into a private
+    /// arena (no per-set heap allocation); the per-thread arenas are then
+    /// spliced in index order.
+    pub fn sample_batch(
+        &self,
+        g: &CsrGraph,
+        count: usize,
+        seed: u64,
+        first_index: u64,
+    ) -> (RrArena, Vec<u64>) {
+        debug_assert_eq!(
+            self.slots.len(),
+            g.num_edges(),
+            "sampler prepared on a different graph"
+        );
+        if count == 0 || g.num_nodes() == 0 {
+            let mut arena = RrArena::new();
+            arena.push_empty_sets(count);
+            return (arena, vec![0u64; count]);
+        }
+        let base = mix64(seed);
+        let run = |lo: usize, hi: usize| {
+            sample_range(g, &self.slots, &self.skip_ln, base, first_index, lo, hi)
+        };
+
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(count)
+            .min(32)
+            .min(self.thread_cap);
+        if threads == 1 {
+            return run(0, count);
+        }
+        let mut arena = RrArena::with_capacity(count, 2 * count);
+        let mut widths = Vec::with_capacity(count);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_ranges(count, threads)
+                .into_iter()
+                .map(|(lo, hi)| {
+                    let run = &run;
+                    scope.spawn(move || run(lo, hi))
+                })
+                .collect();
+            // Splice the per-thread arenas in index order.
+            for handle in handles {
+                let (part, part_widths) = handle.join().expect("sampler worker panicked");
+                arena.append(&part);
+                widths.extend(part_widths);
+            }
+        });
+        (arena, widths)
+    }
+}
+
+/// One-shot convenience over [`PreparedSampler`]: gathers the sampling
+/// tables and samples `count` RR sets. See [`PreparedSampler::sample_batch`]
+/// for the semantics.
 pub fn sample_rr_batch(
     g: &CsrGraph,
     probs: &AdProbs,
     count: usize,
     seed: u64,
     first_index: u64,
-) -> (Vec<Vec<NodeId>>, Vec<u64>) {
-    let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); count];
-    let mut widths = vec![0u64; count];
+) -> (RrArena, Vec<u64>) {
     if count == 0 || g.num_nodes() == 0 {
-        return (sets, widths);
+        let mut arena = RrArena::new();
+        arena.push_empty_sets(count);
+        return (arena, vec![0u64; count]);
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(count)
-        .min(32);
-    let chunk = count.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (tid, (set_chunk, width_chunk)) in sets
-            .chunks_mut(chunk)
-            .zip(widths.chunks_mut(chunk))
-            .enumerate()
-        {
-            scope.spawn(move || {
-                let mut ws = RrWorkspace::new(g.num_nodes());
-                let base = tid as u64 * chunk as u64;
-                for (off, (set, width)) in
-                    set_chunk.iter_mut().zip(width_chunk.iter_mut()).enumerate()
-                {
-                    let idx = first_index + base + off as u64;
-                    let mut rng = SmallRng::seed_from_u64(mix64(seed ^ idx));
-                    *width = sample_rr_set(g, probs, &mut ws, &mut rng, set);
-                }
-            });
-        }
-    });
-    (sets, widths)
+    PreparedSampler::new(g, probs).sample_batch(g, count, seed, first_index)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
     use rm_graph::builder::graph_from_edges;
 
     fn chain() -> CsrGraph {
@@ -190,6 +517,51 @@ mod tests {
     }
 
     #[test]
+    fn batch_sets_are_valid_rr_sets() {
+        // Chain with p = 1: every RR set of target t is exactly {0..=t}, and
+        // its width is the member in-degree sum — independent of the RNG.
+        let g = chain();
+        let probs = AdProbs::from_vec(vec![1.0; 3]);
+        let (arena, widths) = sample_rr_batch(&g, &probs, 200, 3, 0);
+        assert_eq!(arena.len(), 200);
+        for (set, &w) in arena.iter().zip(&widths) {
+            let t = set[0];
+            let mut sorted = set.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..=t).collect::<Vec<_>>());
+            let expect: u64 = set.iter().map(|&v| g.in_degree(v) as u64).sum();
+            assert_eq!(w, expect);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_without_underflow() {
+        // Regression: `count = 5, threads = 4` used to produce the range
+        // (6, 5) for the last worker — an underflowing `hi - lo`.
+        for (count, threads) in [(5usize, 4usize), (1, 4), (7, 3), (32, 32), (100, 7)] {
+            let ranges = chunk_ranges(count, threads);
+            let mut expect = 0;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, expect, "ranges must be contiguous");
+                assert!(lo < hi, "empty ranges must be filtered");
+                expect = hi;
+            }
+            assert_eq!(expect, count, "ranges must cover 0..{count}");
+        }
+    }
+
+    #[test]
+    fn prepared_sampler_matches_one_shot() {
+        let g = chain();
+        let probs = AdProbs::from_vec(vec![0.5; 3]);
+        let prepared = PreparedSampler::new(&g, &probs);
+        let (a, wa) = prepared.sample_batch(&g, 60, 21, 0);
+        let (b, wb) = sample_rr_batch(&g, &probs, 60, 21, 0);
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
     fn batch_deterministic_and_indexed() {
         let g = chain();
         let probs = AdProbs::from_vec(vec![0.5; 3]);
@@ -200,7 +572,62 @@ mod tests {
         // Growing a sample continues the same logical sequence.
         let (full, _) = sample_rr_batch(&g, &probs, 150, 9, 0);
         let (tail, _) = sample_rr_batch(&g, &probs, 50, 9, 100);
-        assert_eq!(&full[100..], &tail[..]);
+        assert!(full.iter().skip(100).eq(tail.iter()));
+    }
+
+    #[test]
+    fn stream_seeds_do_not_collide_across_salted_bases() {
+        // Regression for the cross-advertiser stream-correlation bug: with
+        // xor-composed derivation (`mix64(seed ^ idx)`), bases salted with
+        // `j << 20` collide at shifted indices — ad j's set i and ad j''s set
+        // `i ^ ((j ^ j') << 20)` shared an RNG stream. Chained mixing must
+        // give every (ad, index) pair a distinct stream seed.
+        let cfg_seed = 0x5EED_u64;
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..8u64 {
+            let ad_seed = stream_seed(cfg_seed ^ 0x005A_3D17, j);
+            for idx in 0..4096u64 {
+                assert!(
+                    seen.insert(stream_seed(ad_seed, idx)),
+                    "stream collision at ad {j}, set {idx}"
+                );
+            }
+        }
+        // The old scheme really did collide, at indices inside one batch:
+        // mix64((s ^ (1 << 20)) ^ 0) == mix64((s ^ (2 << 20)) ^ ((1 ^ 2) << 20)).
+        let old = |seed: u64, idx: u64| mix64(seed ^ idx);
+        assert_eq!(
+            old(cfg_seed ^ (1 << 20), 0),
+            old(cfg_seed ^ (2 << 20), 3 << 20)
+        );
+    }
+
+    #[test]
+    fn geometric_skip_path_matches_bernoulli_frequencies() {
+        // In-star: 20 leaves each pointing at center 20, all edges p = 0.5.
+        // The center's in-degree (20 ≥ SKIP_MIN_DEGREE, uniform p) forces the
+        // geometric-skip path. Pr[leaf ∈ R] = (1 + 0.5)/21 (root is the leaf
+        // itself, or the center and the leaf's coin landed heads), so
+        // σ({leaf}) = 21 · Pr = 1.5.
+        let edges: Vec<(u32, u32)> = (0..20).map(|leaf| (leaf, 20)).collect();
+        let g = graph_from_edges(21, &edges);
+        let probs = AdProbs::from_vec(vec![0.5; 20]);
+        let theta = 60_000;
+        let (sets, _) = sample_rr_batch(&g, &probs, theta, 13, 0);
+        let count0 = sets.iter().filter(|s| s.contains(&0)).count();
+        let est = 21.0 * count0 as f64 / theta as f64;
+        assert!((est - 1.5).abs() < 0.05, "σ({{leaf}}) est {est}, want 1.5");
+        // Center sets: size - 1 leaves accepted, Binomial(20, 1/2) ⇒ mean 10.
+        let center_sizes: Vec<usize> = sets
+            .iter()
+            .filter(|s| s[0] == 20)
+            .map(|s| s.len() - 1)
+            .collect();
+        let mean = center_sizes.iter().sum::<usize>() as f64 / center_sizes.len() as f64;
+        assert!(
+            (mean - 10.0).abs() < 0.1,
+            "accepted-leaf mean {mean}, want 10"
+        );
     }
 
     #[test]

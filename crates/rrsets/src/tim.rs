@@ -16,7 +16,7 @@
 use rm_diffusion::AdProbs;
 use rm_graph::CsrGraph;
 
-use crate::sampler::sample_rr_batch;
+use crate::sampler::PreparedSampler;
 
 /// Parameters of the sample-size machinery.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +88,19 @@ impl KptEstimator {
     /// Runs the estimation loop for seed-set size `k`. Deterministic in
     /// `seed`. Graphs with no edges yield the trivial bound.
     pub fn estimate(g: &CsrGraph, probs: &AdProbs, k: usize, cfg: &TimConfig, seed: u64) -> Self {
+        Self::estimate_with_sampler(g, &PreparedSampler::new(g, probs), k, cfg, seed)
+    }
+
+    /// [`Self::estimate`] over already-prepared sampling tables, so a caller
+    /// that also samples with them (the engine's per-ad initialization) pays
+    /// the `O(n + m)` gather once.
+    pub fn estimate_with_sampler(
+        g: &CsrGraph,
+        sampler: &PreparedSampler,
+        k: usize,
+        cfg: &TimConfig,
+        seed: u64,
+    ) -> Self {
         let n = g.num_nodes();
         let m = g.num_edges();
         let k = k.max(1);
@@ -108,7 +121,7 @@ impl KptEstimator {
             let c_i = ((6.0 * cfg.ell * n_f.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32)).ceil()
                 as usize;
             let c_i = c_i.min(cfg.max_sets_per_ad.max(1));
-            let (_, widths) = sample_rr_batch(g, probs, c_i, seed ^ (i as u64) << 48, 0);
+            let (_, widths) = sampler.sample_batch(g, c_i, seed ^ (i as u64) << 48, 0);
             let sum: f64 = widths.iter().map(|&w| kappa(w, m, k)).sum();
             let mean = sum / c_i as f64;
             last_widths = widths;

@@ -1,0 +1,146 @@
+//! Property test: the arena-backed [`RrCoverage`] is behaviorally identical
+//! to a naive `Vec<Vec<NodeId>>` reference model under random interleavings
+//! of `add_batch` / `cover_with` / `coverage` / `max_coverage`.
+
+use proptest::prelude::*;
+use rm_graph::NodeId;
+use rm_rrsets::{RrArena, RrCoverage};
+
+/// Reference implementation: owned nested vecs, coverage recomputed by
+/// scanning every set on demand. Slow and obviously correct.
+#[derive(Debug, Default)]
+struct NaiveCoverage {
+    n: usize,
+    sets: Vec<Vec<NodeId>>,
+    covered: Vec<bool>,
+}
+
+impl NaiveCoverage {
+    fn new(n: usize) -> Self {
+        NaiveCoverage {
+            n,
+            sets: Vec::new(),
+            covered: Vec::new(),
+        }
+    }
+
+    fn add_batch(&mut self, batch: &[Vec<NodeId>], is_seed: &[bool]) -> usize {
+        let mut arrived_covered = 0;
+        for set in batch {
+            let hit = set.iter().any(|&u| is_seed[u as usize]);
+            arrived_covered += usize::from(hit);
+            self.sets.push(set.clone());
+            self.covered.push(hit);
+        }
+        arrived_covered
+    }
+
+    fn coverage(&self, v: NodeId) -> u32 {
+        self.sets
+            .iter()
+            .zip(&self.covered)
+            .filter(|&(set, &cov)| !cov && set.contains(&v))
+            .count() as u32
+    }
+
+    fn cover_with(&mut self, v: NodeId) -> u32 {
+        let mut newly = 0;
+        for (set, cov) in self.sets.iter().zip(self.covered.iter_mut()) {
+            if !*cov && set.contains(&v) {
+                *cov = true;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    fn covered_total(&self) -> usize {
+        self.covered.iter().filter(|&&c| c).count()
+    }
+
+    fn max_coverage(&self, skip: impl Fn(NodeId) -> bool) -> u32 {
+        (0..self.n as NodeId)
+            .filter(|&v| !skip(v))
+            .map(|v| self.coverage(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Decodes one op from a raw integer. Layout: low bits select the action,
+/// the rest parameterize it deterministically.
+fn apply_op(
+    op: u64,
+    n: usize,
+    idx: &mut RrCoverage,
+    model: &mut NaiveCoverage,
+    is_seed: &mut [bool],
+) -> Result<(), TestCaseError> {
+    match op % 4 {
+        // add_batch of up to 4 sets with pseudo-random small members.
+        0 => {
+            let mut x = op / 4;
+            let batch_len = (x % 4) as usize + 1;
+            let mut batch: Vec<Vec<NodeId>> = Vec::new();
+            for _ in 0..batch_len {
+                let set_len = (x % 3) as usize + 1;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let mut set = Vec::new();
+                for k in 0..set_len {
+                    let u = ((x >> (8 * k)) % n as u64) as NodeId;
+                    if !set.contains(&u) {
+                        set.push(u);
+                    }
+                }
+                batch.push(set);
+            }
+            let arena: RrArena = batch.iter().collect();
+            let a = idx.add_batch(&arena, is_seed);
+            let b = model.add_batch(&batch, is_seed);
+            prop_assert_eq!(a, b, "arrived-covered counts diverge");
+        }
+        // cover_with a pseudo-random node; it becomes a seed.
+        1 => {
+            let v = ((op / 4) % n as u64) as NodeId;
+            let a = idx.cover_with(v);
+            let b = model.cover_with(v);
+            prop_assert_eq!(a, b, "cover_with({}) gains diverge", v);
+            is_seed[v as usize] = true;
+        }
+        // Full coverage comparison.
+        2 => {
+            for v in 0..n as NodeId {
+                prop_assert_eq!(idx.coverage(v), model.coverage(v), "coverage({})", v);
+            }
+        }
+        // max_coverage with a pseudo-random skip mask.
+        _ => {
+            let mask = op / 4;
+            let skip = |v: NodeId| (mask >> (v % 61)) & 1 == 1;
+            prop_assert_eq!(idx.max_coverage(skip), model.max_coverage(skip));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn coverage_index_matches_naive_model(
+        n in 2usize..10,
+        ops in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let mut idx = RrCoverage::new(n);
+        let mut model = NaiveCoverage::new(n);
+        let mut is_seed = vec![false; n];
+        for &op in &ops {
+            apply_op(op, n, &mut idx, &mut model, &mut is_seed)?;
+        }
+        // Terminal invariants.
+        prop_assert_eq!(idx.num_sets(), model.sets.len());
+        prop_assert_eq!(idx.covered_total(), model.covered_total());
+        for v in 0..n as NodeId {
+            prop_assert_eq!(idx.coverage(v), model.coverage(v));
+        }
+    }
+}
