@@ -1,12 +1,13 @@
 //! End-to-end RR-set pipeline throughput on a Table-3-style workload
 //! (DBLP-like scale: a power-law graph too large for cache, Weighted
-//! Cascade): batch sampling into storage, coverage-index ingestion, and the
-//! resident memory the index reports afterwards. The recorded before/after
-//! numbers live in `BENCH_rrsets.json` at the repo root.
+//! Cascade): batch sampling into storage — under both the IC and LT
+//! sampling modes — coverage-index ingestion, and the resident memory the
+//! index reports afterwards. The recorded before/after numbers live in
+//! `BENCH_rrsets.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::{rngs::SmallRng, SeedableRng};
-use rm_diffusion::{TicModel, TopicDistribution};
+use rm_diffusion::{DiffusionModel, TicModel, TopicDistribution};
 use rm_graph::generators;
 use rm_rrsets::RrCoverage;
 
@@ -36,6 +37,18 @@ fn bench_rrsets_throughput(c: &mut Criterion) {
         b.iter(|| {
             round += 1;
             rm_rrsets::sample_rr_batch(&g, &probs, BATCH, 7, round * BATCH as u64)
+        });
+    });
+
+    // LT arm: the same WC-derived parameters reinterpreted as LT in-weights
+    // (1/indeg — exactly feasible), sampled through the per-node alias-table
+    // reverse walk.
+    let lt = DiffusionModel::lt(&g, probs.clone());
+    group.bench_function("sample_batch_lt_50k", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            rm_rrsets::sample_rr_batch_model(&g, &lt, BATCH, 7, round * BATCH as u64)
         });
     });
 

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <id> [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]
 //!
-//! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5
+//! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality
 //!      ablation-lazy ablation-term ablation-singleton
 //!      quality   (fig2+fig3+fig4)
 //!      scalability (fig5+table3)
@@ -65,6 +65,7 @@ fn run(id: &str, opts: Opts) {
         "fig1" => experiments::fig1(opts),
         "fig2" | "fig3" | "fig23" => experiments::fig2_fig3(opts),
         "fig4" => experiments::fig4(opts),
+        "lt-quality" => experiments::lt_quality(opts),
         "fig5" | "table3" => experiments::fig5_table3(opts),
         "ablation-lazy" => experiments::ablation_lazy(opts),
         "ablation-term" => experiments::ablation_termination(opts),
@@ -80,6 +81,7 @@ fn run(id: &str, opts: Opts) {
             experiments::fig1(opts);
             experiments::fig2_fig3(opts);
             experiments::fig4(opts);
+            experiments::lt_quality(opts);
             experiments::fig5_table3(opts);
             experiments::ablation_lazy(opts);
             experiments::ablation_termination(opts);
@@ -97,7 +99,7 @@ fn run(id: &str, opts: Opts) {
 fn usage() {
     eprintln!(
         "usage: experiments <id>... [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]\n\
-         ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5\n\
+         ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality\n\
               ablation-lazy ablation-term ablation-singleton quality scalability all"
     );
 }

@@ -169,33 +169,60 @@ pub fn fig1(_opts: Opts) {
 /// Figures 2 and 3: total revenue and total seeding cost as functions of α,
 /// for each incentive model, dataset and algorithm. Computed in one sweep.
 pub fn fig2_fig3(opts: Opts) {
-    let mut rev = Table::new(
-        "fig2_revenue_vs_alpha",
-        &[
+    quality_sweep(
+        opts,
+        "fig2/3",
+        ("fig2_revenue_vs_alpha", "fig3_seeding_cost_vs_alpha"),
+        setup::QualityContext::new,
+        &ALGOS,
+        0xE,
+    );
+}
+
+/// `lt-quality`: the Fig. 2/3-style revenue and seeding-cost sweep under
+/// the **Linear Threshold** model (incentive models × α grid × datasets),
+/// TI-CSRM vs TI-CARM. In-weights come from the dataset's LT derivation
+/// (WC `1/indeg` for Epinions-like, water-filled trivalency for
+/// Flixster-like); pricing and evaluation both run under LT.
+pub fn lt_quality(opts: Opts) {
+    quality_sweep(
+        opts,
+        "lt-quality",
+        ("ltq_revenue_vs_alpha", "ltq_seeding_cost_vs_alpha"),
+        setup::QualityContext::new_lt,
+        &[AlgorithmKind::TiCsrm, AlgorithmKind::TiCarm],
+        0x17,
+    );
+}
+
+/// The shared Fig. 2/3-shaped sweep: incentive models × α grid × datasets
+/// × algorithms, one engine run per cell, scored on an independent sample,
+/// reported as paired revenue/seeding-cost tables. `ctx_new` fixes the
+/// diffusion family (IC for fig2/3, LT for `lt-quality`).
+fn quality_sweep(
+    opts: Opts,
+    tag: &str,
+    (rev_name, cost_name): (&str, &str),
+    ctx_new: fn(SyntheticDataset, usize, f64, u64) -> setup::QualityContext,
+    algos: &[AlgorithmKind],
+    eval_salt: u64,
+) {
+    let headers = |metric: &'static str| {
+        [
             "dataset",
             "model",
             "alpha",
             "algorithm",
-            "revenue",
+            metric,
             "seeds",
             "time_s",
-        ],
-    );
-    let mut cost = Table::new(
-        "fig3_seeding_cost_vs_alpha",
-        &[
-            "dataset",
-            "model",
-            "alpha",
-            "algorithm",
-            "seeding_cost",
-            "seeds",
-            "time_s",
-        ],
-    );
+        ]
+    };
+    let mut rev = Table::new(rev_name, &headers("revenue"));
+    let mut cost = Table::new(cost_name, &headers("seeding_cost"));
     let h = 10;
     for ds in QUALITY_DATASETS {
-        let ctx = setup::QualityContext::new(ds, h, opts.scale, opts.seed);
+        let ctx = ctx_new(ds, h, opts.scale, opts.seed);
         for model in ModelKind::ALL {
             let mut grid = model.alpha_grid(ds);
             if opts.quick {
@@ -206,10 +233,10 @@ pub fn fig2_fig3(opts: Opts) {
                 let eval = EvalMethod::RrSets {
                     theta: eval_theta(&inst),
                 };
-                for kind in ALGOS {
+                for &kind in algos {
                     let cfg = quality_config(opts.seed, opts.paper_eps);
                     let (alloc, stats) = TiEngine::new(&inst, kind, cfg).run();
-                    let report = evaluate_allocation(&inst, &alloc, eval, opts.seed ^ 0xE);
+                    let report = evaluate_allocation(&inst, &alloc, eval, opts.seed ^ eval_salt);
                     let base = vec![
                         ds.to_string(),
                         model.name().into(),
@@ -231,7 +258,7 @@ pub fn fig2_fig3(opts: Opts) {
                     ]);
                     cost.push(r2);
                 }
-                println!("[fig2/3] {ds} {} α={alpha} done", model.name());
+                println!("[{tag}] {ds} {} α={alpha} done", model.name());
             }
         }
     }

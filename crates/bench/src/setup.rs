@@ -109,26 +109,44 @@ pub fn table2_terms(ds: SyntheticDataset, h: usize, scale: f64) -> Vec<(f64, f64
 
 /// Cached quality-experiment context: the graph, propagation model, ads and
 /// singleton spreads are independent of the incentive model and α, so one
-/// context serves an entire Fig. 2/3 sweep — only the incentive schedules
-/// are re-derived per grid cell.
+/// context serves an entire Fig. 2/3 (or `lt-quality`) sweep — only the
+/// incentive schedules are re-derived per grid cell. The diffusion family
+/// is fixed by the constructor ([`Self::new`] = IC, [`Self::new_lt`] = LT).
 pub struct QualityContext {
+    /// The dataset this context was generated from.
     pub dataset: SyntheticDataset,
+    /// The generated social graph.
     pub graph: Arc<rm_graph::CsrGraph>,
     ads: Vec<Advertiser>,
     ad_probs: Vec<rm_diffusion::AdProbs>,
     sigma: Vec<Arc<Vec<f64>>>,
+    diffusion: rm_diffusion::DiffusionKind,
 }
 
 impl QualityContext {
-    /// Builds the context (the expensive part: generation + pricing sample).
+    /// Builds the IC context (the expensive part: generation + pricing
+    /// sample).
     pub fn new(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
         let probe = quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
+        Self::from_probe(ds, probe)
+    }
+
+    /// Builds the **Linear Threshold** context: LT in-weights from the
+    /// dataset's LT derivation (water-filled by the probe's `build_lt`),
+    /// singleton pricing under LT.
+    pub fn new_lt(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
+        let probe = lt_quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
+        Self::from_probe(ds, probe)
+    }
+
+    fn from_probe(ds: SyntheticDataset, probe: RmInstance) -> Self {
         QualityContext {
             dataset: ds,
             graph: probe.graph.clone(),
             ads: probe.ads.clone(),
             ad_probs: probe.ad_probs.clone(),
             sigma: probe.singleton_spreads.clone(),
+            diffusion: probe.diffusion,
         }
     }
 
@@ -142,6 +160,9 @@ impl QualityContext {
             incentives,
         );
         inst.singleton_spreads = self.sigma.clone();
+        // The cached parameters were already normalized by the probe's
+        // builder, so set the kind directly — no re-scan needed.
+        inst.diffusion = self.diffusion;
         inst
     }
 }
@@ -192,6 +213,49 @@ pub fn quality_instance(
             )
         }
     }
+}
+
+/// The TIC model whose flattening provides the **LT in-weights** of a
+/// dataset. Epinions-like (and the scalability datasets) reuse the
+/// Weighted-Cascade construction `1/indeg` — exactly LT-feasible, the
+/// classic Kempe et al. LT setting. Flixster-like uses trivalency weights:
+/// per-node sums exceed 1 on the hubs every power-law generator produces,
+/// exercising the construction-time water-fill (`RmInstance::build_lt`).
+fn lt_tic_model(ds: SyntheticDataset, graph: &rm_graph::CsrGraph, seed: u64) -> TicModel {
+    match ds {
+        SyntheticDataset::FlixsterLike => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x17_071C);
+            TicModel::trivalency(graph, &mut rng)
+        }
+        _ => TicModel::weighted_cascade(graph),
+    }
+}
+
+/// Builds a **Linear Threshold** quality-experiment instance (the
+/// `lt-quality` artifact): Table 2 budgets/CPEs, RR-estimated singleton
+/// pricing under LT, in-weights water-filled at construction.
+pub fn lt_quality_instance(
+    ds: SyntheticDataset,
+    model: IncentiveModel,
+    h: usize,
+    scale: f64,
+    seed: u64,
+) -> RmInstance {
+    let graph = Arc::new(ds.generate(scale, seed));
+    let n_sets = (graph.num_nodes() * 40).clamp(20_000, 400_000);
+    let tic = lt_tic_model(ds, &graph, seed);
+    let ads = table2_terms(ds, h, scale)
+        .into_iter()
+        .map(|(cpe, budget)| Advertiser::new(cpe, budget, TopicDistribution::uniform(1)))
+        .collect();
+    RmInstance::build_lt(
+        graph,
+        &tic,
+        ads,
+        model,
+        SingletonMethod::RrEstimate { theta: n_sets },
+        seed ^ 0x17E4,
+    )
 }
 
 /// Builds a scalability-experiment instance (Fig. 5 / Table 3): WC model,
@@ -290,6 +354,41 @@ mod tests {
         );
         assert_eq!(inst.num_ads(), 4);
         assert!(inst.num_nodes() >= 64);
+    }
+
+    #[test]
+    fn lt_weights_waterfilled_at_instance_construction() {
+        // Regression: SyntheticDataset-derived LT in-weights (trivalency on
+        // the Flixster-like analogue) sum past 1 on high-in-degree hubs.
+        // The instance must water-fill at construction, not reject later.
+        let ds = SyntheticDataset::FlixsterLike;
+        let seed = 5;
+        let graph = ds.generate(0.02, seed);
+        let raw = super::lt_tic_model(ds, &graph, seed)
+            .ad_probs(&rm_diffusion::TopicDistribution::uniform(1));
+        assert!(
+            !rm_diffusion::lt_weights_feasible(&graph, &raw),
+            "the raw trivalency weights should demonstrate the bug"
+        );
+        let inst = lt_quality_instance(ds, IncentiveModel::Linear { alpha: 0.2 }, 4, 0.02, seed);
+        assert_eq!(inst.diffusion, rm_diffusion::DiffusionKind::LinearThreshold);
+        for probs in &inst.ad_probs {
+            assert!(rm_diffusion::lt_weights_feasible(&inst.graph, probs));
+        }
+    }
+
+    #[test]
+    fn lt_context_instances_match_direct_builds() {
+        let ds = SyntheticDataset::EpinionsLike;
+        let ctx = QualityContext::new_lt(ds, 4, 0.005, 2);
+        let inst = ctx.instance(IncentiveModel::Linear { alpha: 0.3 });
+        assert_eq!(inst.num_ads(), 4);
+        assert_eq!(inst.diffusion, rm_diffusion::DiffusionKind::LinearThreshold);
+        // WC-derived weights are already feasible; the context must not
+        // have perturbed them.
+        for probs in &inst.ad_probs {
+            assert!(rm_diffusion::lt_weights_feasible(&inst.graph, probs));
+        }
     }
 
     #[test]

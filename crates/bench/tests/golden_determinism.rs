@@ -1,0 +1,60 @@
+//! Golden determinism snapshot: `experiments fig1 table2 --quick` at the
+//! default seed must produce **byte-identical** CSV output across runs (and
+//! across thread counts — the harness threads never touch these artifacts'
+//! arithmetic, and the sampler is thread-count-invariant by construction,
+//! which `tests/cross_model_consistency.rs` verifies on real batches). The
+//! current output is pinned under `tests/golden/`; a diff here means a
+//! determinism regression or an intentional artifact change that must
+//! re-pin the goldens.
+
+use rm_bench::experiments::{self, Opts};
+
+/// The harness's default invocation with `--quick`.
+fn quick_opts() -> Opts {
+    Opts {
+        quick: true,
+        ..Default::default()
+    }
+}
+
+fn read_artifact(name: &str) -> String {
+    let path = rm_bench::report::out_dir().join(format!("{name}.csv"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()))
+}
+
+#[test]
+fn fig1_and_table2_quick_match_pinned_goldens_across_runs() {
+    // First run.
+    experiments::fig1(quick_opts());
+    experiments::table2(quick_opts());
+    let fig1_a = read_artifact("fig1_tightness");
+    let table2_a = read_artifact("table2_terms");
+
+    // Second run must be byte-identical (no hidden global state, time, or
+    // scheduling dependence).
+    experiments::fig1(quick_opts());
+    experiments::table2(quick_opts());
+    assert_eq!(
+        fig1_a,
+        read_artifact("fig1_tightness"),
+        "fig1 CSV drifted between runs"
+    );
+    assert_eq!(
+        table2_a,
+        read_artifact("table2_terms"),
+        "table2 CSV drifted between runs"
+    );
+
+    // And both must match the pinned goldens bit-for-bit.
+    assert_eq!(
+        fig1_a,
+        include_str!("golden/fig1_tightness.csv"),
+        "fig1 CSV deviates from the pinned golden — re-pin only for an intentional artifact change"
+    );
+    assert_eq!(
+        table2_a,
+        include_str!("golden/table2_terms.csv"),
+        "table2 CSV deviates from the pinned golden — re-pin only for an intentional artifact change"
+    );
+}

@@ -15,8 +15,6 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use rm_diffusion::cascade::simulate_cascade_nodes;
-use rm_diffusion::CascadeWorkspace;
 use rm_graph::NodeId;
 
 use crate::allocation::SeedAllocation;
@@ -90,7 +88,9 @@ pub fn run_adaptive_campaign(
     };
     let mut engaged: Vec<Vec<bool>> = vec![vec![false; n]; h]; // per ad
     let mut taken = vec![false; n]; // partition matroid across rounds
-    let mut ws = CascadeWorkspace::new(n);
+                                    // Realized cascades run under the instance's diffusion model (the kind
+                                    // is instance-wide, so one workspace serves every ad).
+    let mut ws = inst.model(0).workspace(n);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xADA9);
 
     for round in 0..cfg.rounds {
@@ -136,7 +136,8 @@ pub fn run_adaptive_campaign(
                 // Observe the realized cascade of this seed and charge CPE
                 // for each *new* engagement while budget lasts.
                 let activated: Vec<NodeId> =
-                    simulate_cascade_nodes(&inst.graph, &inst.ad_probs[i], &[v], &mut ws, &mut rng);
+                    inst.model(i)
+                        .simulate_nodes(&inst.graph, &[v], &mut ws, &mut rng);
                 for u in activated {
                     if engaged_i[u as usize] {
                         continue;

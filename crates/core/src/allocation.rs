@@ -102,24 +102,21 @@ pub fn evaluate_allocation(
         let spread = if seeds.is_empty() {
             0.0
         } else {
+            let model = instance.model(i);
             match method {
-                EvalMethod::RrSets { theta } => rm_rrsets::rr_estimate_spread(
+                EvalMethod::RrSets { theta } => rm_rrsets::rr_estimate_spread_model(
                     &instance.graph,
-                    &instance.ad_probs[i],
+                    &model,
                     seeds,
                     theta,
                     seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
                 ),
-                EvalMethod::MonteCarlo { runs } => {
-                    rm_diffusion::estimate_spread(
-                        &instance.graph,
-                        &instance.ad_probs[i],
-                        seeds,
-                        runs,
-                        seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
-                    )
-                    .spread
-                }
+                EvalMethod::MonteCarlo { runs } => model.estimate_spread(
+                    &instance.graph,
+                    seeds,
+                    runs,
+                    seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
+                ),
             }
         };
         let cost: f64 = seeds.iter().map(|&u| instance.incentives[i].cost(u)).sum();

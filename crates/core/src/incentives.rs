@@ -10,7 +10,7 @@
 //! * **Sublinear**: `α · ln(σ_i({u}))`
 //! * **Superlinear**: `α · σ_i({u})²`
 
-use rm_diffusion::AdProbs;
+use rm_diffusion::{AdProbs, DiffusionModel};
 use rm_graph::{CsrGraph, NodeId};
 
 /// How the per-node singleton spreads `σ_i({u})` are obtained.
@@ -34,16 +34,26 @@ pub enum SingletonMethod {
 }
 
 impl SingletonMethod {
-    /// Computes `σ({u})` for every node under the given ad probabilities.
-    /// Deterministic in `seed`.
+    /// Computes `σ({u})` for every node under the given IC ad
+    /// probabilities. Deterministic in `seed`.
     pub fn singleton_spreads(&self, g: &CsrGraph, probs: &AdProbs, seed: u64) -> Vec<f64> {
+        self.singleton_spreads_model(g, &DiffusionModel::ic(probs.clone()), seed)
+    }
+
+    /// Computes `σ({u})` for every node under an arbitrary diffusion model
+    /// (RR estimation and Monte-Carlo both dispatch on the model; the
+    /// out-degree proxy is model-free). Deterministic in `seed`.
+    pub fn singleton_spreads_model(
+        &self,
+        g: &CsrGraph,
+        model: &DiffusionModel,
+        seed: u64,
+    ) -> Vec<f64> {
         match *self {
             SingletonMethod::RrEstimate { theta } => {
-                rm_rrsets::rr_singleton_spreads(g, probs, theta, seed)
+                rm_rrsets::rr_singleton_spreads_model(g, model, theta, seed)
             }
-            SingletonMethod::MonteCarlo { runs } => {
-                rm_diffusion::singleton_spreads_mc(g, probs, runs, seed)
-            }
+            SingletonMethod::MonteCarlo { runs } => model.singleton_spreads_mc(g, runs, seed),
             SingletonMethod::OutDegree => (0..g.num_nodes() as NodeId)
                 .map(|u| g.out_degree(u) as f64 + 1.0)
                 .collect(),

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use rm_diffusion::{AdProbs, TicModel};
+use rm_diffusion::{AdProbs, DiffusionKind, DiffusionModel, TicModel};
 use rm_graph::CsrGraph;
 
 use crate::advertiser::Advertiser;
@@ -13,25 +13,31 @@ use crate::incentives::{IncentiveModel, IncentiveSchedule, SingletonMethod};
 ///
 /// Construction flattens the TIC model into per-ad edge probabilities
 /// (Eq. 1) and prices every node's incentive for every ad from its singleton
-/// spread.
+/// spread. The per-ad edge parameters are interpreted according to
+/// [`RmInstance::diffusion`]: IC firing probabilities (the paper's setting)
+/// or LT in-weights (the classic Linear Threshold workload family).
 #[derive(Clone)]
 pub struct RmInstance {
     /// The social graph (arc `(u, v)`: `v` follows `u`).
     pub graph: Arc<CsrGraph>,
     /// The advertisers and their commercial terms.
     pub ads: Vec<Advertiser>,
-    /// Flattened ad-specific edge probabilities, one per ad.
+    /// Flattened ad-specific edge parameters, one per ad (IC probabilities
+    /// or LT in-weights, per [`Self::diffusion`]). LT instances hold
+    /// in-weights already water-filled into feasibility.
     pub ad_probs: Vec<AdProbs>,
     /// Per-ad incentive schedules `c_i(·)`.
     pub incentives: Vec<IncentiveSchedule>,
     /// Singleton spreads used for pricing (kept for diagnostics/reports).
     pub singleton_spreads: Vec<Arc<Vec<f64>>>,
+    /// Which diffusion family the edge parameters describe.
+    pub diffusion: DiffusionKind,
 }
 
 impl RmInstance {
-    /// Builds an instance from a TIC model: flattens per-ad probabilities,
-    /// estimates singleton spreads with `method`, prices incentives with
-    /// `model`. Deterministic in `seed`.
+    /// Builds an IC instance from a TIC model: flattens per-ad
+    /// probabilities, estimates singleton spreads with `method`, prices
+    /// incentives with `model`. Deterministic in `seed`.
     ///
     /// Ads sharing a topic distribution share probability storage; under a
     /// single-topic model (`L = 1`) the pricing sample is computed once and
@@ -43,6 +49,50 @@ impl RmInstance {
         model: IncentiveModel,
         method: SingletonMethod,
         seed: u64,
+    ) -> Self {
+        Self::build_with_diffusion(
+            graph,
+            tic,
+            ads,
+            model,
+            method,
+            seed,
+            DiffusionKind::IndependentCascade,
+        )
+    }
+
+    /// Builds a **Linear Threshold** instance: the TIC flattening of each
+    /// ad's topic mixture is reinterpreted as LT in-weights, water-filled
+    /// into per-node feasibility at construction (synthetic assignments —
+    /// uniform-p, trivalency, topical mixtures — routinely sum past 1 on
+    /// high-in-degree hubs). Pricing and evaluation then run under LT.
+    pub fn build_lt(
+        graph: Arc<CsrGraph>,
+        tic: &TicModel,
+        ads: Vec<Advertiser>,
+        model: IncentiveModel,
+        method: SingletonMethod,
+        seed: u64,
+    ) -> Self {
+        Self::build_with_diffusion(
+            graph,
+            tic,
+            ads,
+            model,
+            method,
+            seed,
+            DiffusionKind::LinearThreshold,
+        )
+    }
+
+    fn build_with_diffusion(
+        graph: Arc<CsrGraph>,
+        tic: &TicModel,
+        ads: Vec<Advertiser>,
+        model: IncentiveModel,
+        method: SingletonMethod,
+        seed: u64,
+        diffusion: DiffusionKind,
     ) -> Self {
         assert!(!ads.is_empty(), "need at least one advertiser");
         assert!(
@@ -58,7 +108,17 @@ impl RmInstance {
             let twin = (0..i).find(|&j| single_topic || ads[j].topic == ad.topic);
             match twin {
                 Some(j) => ad_probs.push(ad_probs[j].clone()),
-                None => ad_probs.push(tic.ad_probs(&ad.topic)),
+                None => {
+                    let raw = tic.ad_probs(&ad.topic);
+                    ad_probs.push(match diffusion {
+                        DiffusionKind::IndependentCascade => raw,
+                        // Water-fill LT in-weights at construction so no
+                        // sampler ever sees an infeasible node.
+                        DiffusionKind::LinearThreshold => {
+                            rm_diffusion::normalize_lt_weights(&graph, &raw)
+                        }
+                    });
+                }
             }
         }
 
@@ -70,8 +130,17 @@ impl RmInstance {
                     singleton_spreads.push(twin);
                 }
                 None => {
-                    let sigma =
-                        method.singleton_spreads(&graph, probs, seed ^ ((i as u64) << 40) ^ 0xA11C);
+                    let m = match diffusion {
+                        DiffusionKind::IndependentCascade => DiffusionModel::ic(probs.clone()),
+                        DiffusionKind::LinearThreshold => {
+                            DiffusionModel::lt_prenormalized(&graph, probs.clone())
+                        }
+                    };
+                    let sigma = method.singleton_spreads_model(
+                        &graph,
+                        &m,
+                        seed ^ ((i as u64) << 40) ^ 0xA11C,
+                    );
                     singleton_spreads.push(Arc::new(sigma));
                 }
             }
@@ -88,10 +157,12 @@ impl RmInstance {
             ad_probs,
             incentives,
             singleton_spreads,
+            diffusion,
         }
     }
 
-    /// Builds with explicit per-ad incentive schedules (tests, gadgets).
+    /// Builds an IC instance with explicit per-ad incentive schedules
+    /// (tests, gadgets).
     pub fn with_explicit_incentives(
         graph: Arc<CsrGraph>,
         ads: Vec<Advertiser>,
@@ -110,6 +181,48 @@ impl RmInstance {
             ad_probs,
             incentives,
             singleton_spreads,
+            diffusion: DiffusionKind::IndependentCascade,
+        }
+    }
+
+    /// Reinterprets the instance's edge parameters under `kind`. Switching
+    /// to LT water-fills the per-ad in-weights into feasibility (a no-op
+    /// scan on already-feasible vectors); storage-sharing twins are
+    /// normalized once.
+    ///
+    /// **This does not re-price anything**: `incentives` and
+    /// `singleton_spreads` are kept as-is, so they must already describe
+    /// spreads under the *target* model (the `LtQualityContext` pattern:
+    /// price with `build_lt`, cache, then re-instantiate per incentive
+    /// schedule). Calling this on an instance priced under the other model
+    /// leaves incentives inconsistent with the spreads the engine
+    /// optimizes — use [`Self::build_lt`] when pricing has to change too.
+    pub fn with_diffusion(mut self, kind: DiffusionKind) -> Self {
+        if kind == DiffusionKind::LinearThreshold {
+            let normalized: Vec<AdProbs> = {
+                let mut out: Vec<AdProbs> = Vec::with_capacity(self.ad_probs.len());
+                for (i, probs) in self.ad_probs.iter().enumerate() {
+                    match (0..i).find(|&j| probs.shares_storage(&self.ad_probs[j])) {
+                        Some(j) => out.push(out[j].clone()),
+                        None => out.push(rm_diffusion::normalize_lt_weights(&self.graph, probs)),
+                    }
+                }
+                out
+            };
+            self.ad_probs = normalized;
+        }
+        self.diffusion = kind;
+        self
+    }
+
+    /// The diffusion model of ad `i` (cheap: parameter storage is shared).
+    pub fn model(&self, i: usize) -> DiffusionModel {
+        match self.diffusion {
+            DiffusionKind::IndependentCascade => DiffusionModel::ic(self.ad_probs[i].clone()),
+            // Instance construction already water-filled the weights.
+            DiffusionKind::LinearThreshold => {
+                DiffusionModel::lt_prenormalized(&self.graph, self.ad_probs[i].clone())
+            }
         }
     }
 
@@ -129,12 +242,18 @@ impl RmInstance {
     ///
     /// # Panics
     /// Panics if the graph is too large for enumeration (> 20 edges or > 16
-    /// nodes).
+    /// nodes), or if the instance is not Independent Cascade (possible-world
+    /// enumeration over independent edges is IC-specific).
     pub fn to_exact_problem(&self) -> rm_submod::RmProblem {
         let n = self.num_nodes();
         assert!(
             n <= 16 && self.graph.num_edges() <= 20,
             "exact conversion is for gadgets"
+        );
+        assert_eq!(
+            self.diffusion,
+            DiffusionKind::IndependentCascade,
+            "exact world enumeration is IC-specific"
         );
         let revenue: Vec<rm_submod::problem::RevenueFn> = (0..self.num_ads())
             .map(|i| {
@@ -203,6 +322,47 @@ mod tests {
             &inst.singleton_spreads[0],
             &inst.singleton_spreads[1]
         ));
+    }
+
+    #[test]
+    fn lt_build_waterfills_and_prices_under_lt() {
+        // In-star: node 4 has four in-edges with uniform p = 0.9 — an LT
+        // in-weight sum of 3.6, infeasible until water-filled.
+        let g = Arc::new(graph_from_edges(5, &[(0, 4), (1, 4), (2, 4), (3, 4)]));
+        let tic = TicModel::uniform(&g, 0.9);
+        assert!(!rm_diffusion::lt_weights_feasible(
+            &g,
+            &tic.ad_probs(&TopicDistribution::uniform(1))
+        ));
+        let inst = RmInstance::build_lt(
+            g.clone(),
+            &tic,
+            vec![Advertiser::new(1.0, 10.0, TopicDistribution::uniform(1))],
+            IncentiveModel::Linear { alpha: 0.1 },
+            SingletonMethod::MonteCarlo { runs: 400 },
+            3,
+        );
+        assert_eq!(inst.diffusion, DiffusionKind::LinearThreshold);
+        assert!(rm_diffusion::lt_weights_feasible(&g, &inst.ad_probs[0]));
+        // After normalization each in-edge has weight 1/4, so seeding one
+        // leaf activates the hub w.p. 1/4: σ({0}) = 1.25 — the price basis.
+        let sigma = inst.singleton_spreads[0][0];
+        assert!((sigma - 1.25).abs() < 0.05, "σ_LT({{0}}) = {sigma}");
+        assert_eq!(inst.model(0).kind(), DiffusionKind::LinearThreshold);
+    }
+
+    #[test]
+    fn with_diffusion_switches_and_normalizes() {
+        let inst = chain_instance();
+        assert_eq!(inst.diffusion, DiffusionKind::IndependentCascade);
+        let lt = inst.with_diffusion(DiffusionKind::LinearThreshold);
+        assert_eq!(lt.diffusion, DiffusionKind::LinearThreshold);
+        assert!(rm_diffusion::lt_weights_feasible(
+            &lt.graph,
+            &lt.ad_probs[0]
+        ));
+        // Twin ads still share (normalized) storage.
+        assert!(lt.ad_probs[0].shares_storage(&lt.ad_probs[1]));
     }
 
     #[test]

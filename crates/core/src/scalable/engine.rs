@@ -249,8 +249,9 @@ impl<'a> TiEngine<'a> {
     fn init_ad(&self, j: usize, tim: &TimConfig, pr_order: Vec<NodeId>, threads: usize) -> AdState {
         let n = self.inst.num_nodes();
         let g = &self.inst.graph;
-        let probs = &self.inst.ad_probs[j];
-        let mut sampler = PreparedSampler::new(g, probs);
+        // Model-generic sampling: the prepared tables are IC acceptance
+        // thresholds or LT alias tables depending on the instance's model.
+        let mut sampler = PreparedSampler::for_model(g, &self.inst.model(j));
         sampler.set_thread_cap(threads);
         let kpt_seed = stream_seed(self.cfg.seed ^ 0x4B50_7E57, j as u64);
         let kpt = KptEstimator::estimate_with_sampler(g, &sampler, 1, tim, kpt_seed);

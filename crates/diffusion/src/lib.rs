@@ -17,15 +17,25 @@
 //! With `L = 1` the TIC model degenerates to the standard IC model, exactly
 //! as the paper notes (footnote 7); the Weighted-Cascade and trivalency
 //! constructors build such single-topic instances.
+//!
+//! Beyond the paper, [`model::DiffusionModel`] abstracts the propagation
+//! family itself (Independent Cascade vs Linear Threshold), so the RR-set
+//! machinery, pricing, and the scalable engine are model-generic.
 
 pub mod cascade;
 pub mod lt;
+pub mod model;
 pub mod spread;
 pub mod tic;
 pub mod topic;
 pub mod world;
 
 pub use cascade::{simulate_cascade, CascadeWorkspace};
+pub use lt::{
+    estimate_lt_spread, lt_weights_feasible, normalize_lt_weights, sample_lt_rr_set,
+    simulate_lt_cascade, LtWorkspace,
+};
+pub use model::{DiffusionKind, DiffusionModel, ModelWorkspace};
 pub use spread::{estimate_spread, singleton_spreads_mc, SpreadEstimate};
 pub use tic::{AdProbs, TicModel, TopicalConfig};
 pub use topic::TopicDistribution;

@@ -1,0 +1,266 @@
+//! The model-generic diffusion abstraction.
+//!
+//! The paper's TI-CSRM/TI-CARM engines are defined over *any* triggering
+//! model: everything downstream of the propagation layer only needs (a) a
+//! forward cascade simulator and (b) a reverse-reachable-set sampler whose
+//! sets satisfy `σ(S) = n · Pr[S ∩ R ≠ ∅]`. [`DiffusionModel`] packages the
+//! per-edge parameters with the model family so samplers, estimators,
+//! pricing, and the engine dispatch on one value instead of forking per
+//! model:
+//!
+//! * **Independent Cascade** ([`DiffusionModel::IndependentCascade`]): each
+//!   edge fires independently with its ad-specific probability (Eq. 1's TIC
+//!   flattening). The RR dual keeps each incoming edge independently.
+//! * **Linear Threshold** ([`DiffusionModel::LinearThreshold`]): each node
+//!   draws a uniform threshold and activates when active in-neighbour
+//!   weights reach it. By Kempe et al.'s live-edge equivalence, this equals
+//!   each node picking **at most one** incoming edge (edge `e` with
+//!   probability `w_e`), so the RR dual is a reverse walk choosing one live
+//!   in-edge per node.
+//!
+//! Future triggering-model variants (continuous-time, topic-LT, decay) slot
+//! in as further arms of this enum plus a sampling mode in
+//! `rm_rrsets::sampler`, instead of another sampler fork.
+
+use rand::Rng;
+
+use rm_graph::{CsrGraph, NodeId};
+
+use crate::cascade::{simulate_cascade, simulate_cascade_nodes, CascadeWorkspace};
+use crate::lt::{
+    lt_weights_feasible, normalize_lt_weights, simulate_lt_cascade, simulate_lt_cascade_nodes,
+    singleton_spreads_lt_mc, LtWorkspace,
+};
+use crate::spread::{estimate_spread, singleton_spreads_mc};
+use crate::tic::AdProbs;
+
+/// The model family, without its parameters (what `RmInstance` records).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiffusionKind {
+    /// Independent Cascade (incl. its WC/TIC/trivalency constructions).
+    IndependentCascade,
+    /// Linear Threshold with per-edge in-weights.
+    LinearThreshold,
+}
+
+impl DiffusionKind {
+    /// Display name used by experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiffusionKind::IndependentCascade => "IC",
+            DiffusionKind::LinearThreshold => "LT",
+        }
+    }
+}
+
+/// A diffusion model bound to its per-edge parameters (cheap to clone: the
+/// parameter storage is `Arc`-shared).
+#[derive(Clone, Debug)]
+pub enum DiffusionModel {
+    /// Independent Cascade with per-edge firing probabilities.
+    IndependentCascade(AdProbs),
+    /// Linear Threshold with per-edge in-weights. Invariant: for every node
+    /// the in-weights sum to at most 1 ([`lt_weights_feasible`]); construct
+    /// via [`DiffusionModel::lt`] to have infeasible weights water-filled.
+    LinearThreshold(AdProbs),
+}
+
+impl DiffusionModel {
+    /// An Independent Cascade model over the given edge probabilities.
+    pub fn ic(probs: AdProbs) -> Self {
+        DiffusionModel::IndependentCascade(probs)
+    }
+
+    /// A Linear Threshold model over the given in-weights, water-filled into
+    /// feasibility per node ([`normalize_lt_weights`]). Feasible inputs are
+    /// passed through without copying.
+    pub fn lt(g: &CsrGraph, weights: AdProbs) -> Self {
+        DiffusionModel::LinearThreshold(normalize_lt_weights(g, &weights))
+    }
+
+    /// A Linear Threshold model over weights the caller guarantees feasible
+    /// (e.g. already normalized at instance construction); skips the O(n+m)
+    /// water-fill scan. Debug builds verify the invariant.
+    pub fn lt_prenormalized(g: &CsrGraph, weights: AdProbs) -> Self {
+        debug_assert!(
+            lt_weights_feasible(g, &weights),
+            "lt_prenormalized requires feasible in-weights"
+        );
+        DiffusionModel::LinearThreshold(weights)
+    }
+
+    /// Binds `params` to a model family: IC passes probabilities through,
+    /// LT water-fills them into feasible in-weights.
+    pub fn from_kind(kind: DiffusionKind, g: &CsrGraph, params: AdProbs) -> Self {
+        match kind {
+            DiffusionKind::IndependentCascade => DiffusionModel::ic(params),
+            DiffusionKind::LinearThreshold => DiffusionModel::lt(g, params),
+        }
+    }
+
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> DiffusionKind {
+        match self {
+            DiffusionModel::IndependentCascade(_) => DiffusionKind::IndependentCascade,
+            DiffusionModel::LinearThreshold(_) => DiffusionKind::LinearThreshold,
+        }
+    }
+
+    /// The per-edge parameters (IC probabilities or LT in-weights), indexed
+    /// by canonical edge id.
+    pub fn params(&self) -> &AdProbs {
+        match self {
+            DiffusionModel::IndependentCascade(p) | DiffusionModel::LinearThreshold(p) => p,
+        }
+    }
+
+    /// A forward-simulation workspace matching this model's family.
+    pub fn workspace(&self, n: usize) -> ModelWorkspace {
+        match self {
+            DiffusionModel::IndependentCascade(_) => ModelWorkspace::Ic(CascadeWorkspace::new(n)),
+            DiffusionModel::LinearThreshold(_) => ModelWorkspace::Lt(LtWorkspace::new(n)),
+        }
+    }
+
+    /// Runs one forward cascade from `seeds`, returning the number of
+    /// activated nodes (seeds included).
+    ///
+    /// # Panics
+    /// Panics if `ws` was built for the other model family.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        g: &CsrGraph,
+        seeds: &[NodeId],
+        ws: &mut ModelWorkspace,
+        rng: &mut R,
+    ) -> usize {
+        match (self, ws) {
+            (DiffusionModel::IndependentCascade(p), ModelWorkspace::Ic(ws)) => {
+                simulate_cascade(g, p, seeds, ws, rng)
+            }
+            (DiffusionModel::LinearThreshold(w), ModelWorkspace::Lt(ws)) => {
+                simulate_lt_cascade(g, w, seeds, ws, rng)
+            }
+            _ => panic!("workspace model family does not match the diffusion model"),
+        }
+    }
+
+    /// Like [`Self::simulate`] but returns the activated node set.
+    pub fn simulate_nodes<R: Rng + ?Sized>(
+        &self,
+        g: &CsrGraph,
+        seeds: &[NodeId],
+        ws: &mut ModelWorkspace,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        match (self, ws) {
+            (DiffusionModel::IndependentCascade(p), ModelWorkspace::Ic(ws)) => {
+                simulate_cascade_nodes(g, p, seeds, ws, rng)
+            }
+            (DiffusionModel::LinearThreshold(w), ModelWorkspace::Lt(ws)) => {
+                simulate_lt_cascade_nodes(g, w, seeds, ws, rng)
+            }
+            _ => panic!("workspace model family does not match the diffusion model"),
+        }
+    }
+
+    /// Estimates the expected spread `σ(seeds)` with `runs` Monte-Carlo
+    /// simulations. Deterministic in `seed`.
+    pub fn estimate_spread(&self, g: &CsrGraph, seeds: &[NodeId], runs: usize, seed: u64) -> f64 {
+        match self {
+            DiffusionModel::IndependentCascade(p) => {
+                estimate_spread(g, p, seeds, runs, seed).spread
+            }
+            DiffusionModel::LinearThreshold(w) => {
+                crate::lt::estimate_lt_spread(g, w, seeds, runs, seed)
+            }
+        }
+    }
+
+    /// Estimates the singleton spread of **every** node with `runs`
+    /// Monte-Carlo simulations each (the incentive-pricing input).
+    pub fn singleton_spreads_mc(&self, g: &CsrGraph, runs: usize, seed: u64) -> Vec<f64> {
+        match self {
+            DiffusionModel::IndependentCascade(p) => singleton_spreads_mc(g, p, runs, seed),
+            DiffusionModel::LinearThreshold(w) => singleton_spreads_lt_mc(g, w, runs, seed),
+        }
+    }
+}
+
+/// Forward-simulation scratch matching one model family; obtain via
+/// [`DiffusionModel::workspace`].
+#[derive(Clone, Debug)]
+pub enum ModelWorkspace {
+    /// Independent-Cascade scratch.
+    Ic(CascadeWorkspace),
+    /// Linear-Threshold scratch.
+    Lt(LtWorkspace),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use rm_graph::builder::graph_from_edges;
+
+    fn chain() -> CsrGraph {
+        graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn kinds_and_params_round_trip() {
+        let g = chain();
+        let probs = AdProbs::from_vec(vec![0.5; 3]);
+        let ic = DiffusionModel::ic(probs.clone());
+        assert_eq!(ic.kind(), DiffusionKind::IndependentCascade);
+        assert!(ic.params().shares_storage(&probs));
+        let lt = DiffusionModel::lt(&g, probs.clone());
+        assert_eq!(lt.kind(), DiffusionKind::LinearThreshold);
+        // Feasible weights pass through unchanged.
+        assert!(lt.params().shares_storage(&probs));
+        assert_eq!(DiffusionKind::LinearThreshold.name(), "LT");
+    }
+
+    #[test]
+    fn lt_constructor_waterfills() {
+        // Node 2's in-weights sum to 1.8; `lt` must normalize them.
+        let g = graph_from_edges(3, &[(0, 2), (1, 2)]);
+        let w = AdProbs::from_vec(vec![0.9, 0.9]);
+        let lt = DiffusionModel::lt(&g, w);
+        assert!(lt_weights_feasible(&g, lt.params()));
+        assert!((lt.params().get(0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn both_models_simulate_deterministic_chain() {
+        let g = chain();
+        let full = AdProbs::from_vec(vec![1.0; 3]);
+        for model in [
+            DiffusionModel::ic(full.clone()),
+            DiffusionModel::lt(&g, full.clone()),
+        ] {
+            let mut ws = model.workspace(4);
+            let mut rng = SmallRng::seed_from_u64(1);
+            assert_eq!(model.simulate(&g, &[0], &mut ws, &mut rng), 4);
+            let mut nodes = model.simulate_nodes(&g, &[2], &mut ws, &mut rng);
+            nodes.sort_unstable();
+            assert_eq!(nodes, vec![2, 3]);
+            assert_eq!(model.estimate_spread(&g, &[1], 50, 2), 3.0);
+            assert_eq!(
+                model.singleton_spreads_mc(&g, 20, 3),
+                vec![4.0, 3.0, 2.0, 1.0]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace model family")]
+    fn mismatched_workspace_panics() {
+        let g = chain();
+        let ic = DiffusionModel::ic(AdProbs::from_vec(vec![1.0; 3]));
+        let lt = DiffusionModel::lt(&g, AdProbs::from_vec(vec![1.0; 3]));
+        let mut ws = lt.workspace(4);
+        let mut rng = SmallRng::seed_from_u64(4);
+        ic.simulate(&g, &[0], &mut ws, &mut rng);
+    }
+}

@@ -80,7 +80,32 @@ pub fn estimate_spread(
 /// simulations each, parallelized over node ranges. This is the incentive
 /// pricing input: `c_i(u) = f(σ_i({u}))`.
 pub fn singleton_spreads_mc(g: &CsrGraph, probs: &AdProbs, runs: usize, seed: u64) -> Vec<f64> {
-    let n = g.num_nodes();
+    singleton_spreads_with(
+        g.num_nodes(),
+        runs,
+        seed,
+        || CascadeWorkspace::new(g.num_nodes()),
+        |u, ws, rng| simulate_cascade(g, probs, &[u], ws, rng),
+    )
+}
+
+/// Shared scaffolding for per-node singleton-spread Monte-Carlo, generic
+/// over the cascade simulator: partitions nodes across threads, derives a
+/// per-thread RNG stream, and averages `runs` calls of `sim` per node. Both
+/// the IC estimator above and the LT one (`lt::singleton_spreads_lt_mc`)
+/// are thin instantiations, so thread-cap or seeding changes apply to every
+/// model at once.
+pub(crate) fn singleton_spreads_with<W, M, F>(
+    n: usize,
+    runs: usize,
+    seed: u64,
+    make_ws: M,
+    sim: F,
+) -> Vec<f64>
+where
+    M: Fn() -> W + Sync,
+    F: Fn(NodeId, &mut W, &mut SmallRng) -> usize + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
@@ -89,9 +114,11 @@ pub fn singleton_spreads_mc(g: &CsrGraph, probs: &AdProbs, runs: usize, seed: u6
     let mut out = vec![0.0f64; n];
     std::thread::scope(|scope| {
         for (tid, slice) in out.chunks_mut(chunk).enumerate() {
+            let make_ws = &make_ws;
+            let sim = &sim;
             scope.spawn(move || {
                 let lo = tid * chunk;
-                let mut ws = CascadeWorkspace::new(g.num_nodes());
+                let mut ws = make_ws();
                 let mut rng = SmallRng::seed_from_u64(
                     seed ^ (tid as u64).wrapping_mul(0xD134_2543_DE82_EF95),
                 );
@@ -99,7 +126,7 @@ pub fn singleton_spreads_mc(g: &CsrGraph, probs: &AdProbs, runs: usize, seed: u6
                     let u = (lo + off) as NodeId;
                     let mut total = 0usize;
                     for _ in 0..runs {
-                        total += simulate_cascade(g, probs, &[u], &mut ws, &mut rng);
+                        total += sim(u, &mut ws, &mut rng);
                     }
                     *slot = total as f64 / runs as f64;
                 }

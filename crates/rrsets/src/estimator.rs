@@ -10,16 +10,29 @@
 //!    each algorithm's final allocation on a fresh common sample so revenue
 //!    comparisons are not biased by each algorithm's internal sample.
 
-use rm_diffusion::AdProbs;
+use rm_diffusion::{AdProbs, DiffusionModel};
 use rm_graph::{CsrGraph, NodeId};
 
-use crate::sampler::sample_rr_batch;
+use crate::sampler::sample_rr_batch_model;
 
 /// Unbiased estimate of `σ(seeds)` from `theta` fresh RR sets:
-/// `n · |{R : R ∩ seeds ≠ ∅}| / θ`.
+/// `n · |{R : R ∩ seeds ≠ ∅}| / θ` — IC convenience over
+/// [`rr_estimate_spread_model`].
 pub fn rr_estimate_spread(
     g: &CsrGraph,
     probs: &AdProbs,
+    seeds: &[NodeId],
+    theta: usize,
+    seed: u64,
+) -> f64 {
+    rr_estimate_spread_model(g, &DiffusionModel::ic(probs.clone()), seeds, theta, seed)
+}
+
+/// Unbiased estimate of `σ(seeds)` under an arbitrary diffusion model from
+/// `theta` fresh RR sets: `n · |{R : R ∩ seeds ≠ ∅}| / θ`.
+pub fn rr_estimate_spread_model(
+    g: &CsrGraph,
+    model: &DiffusionModel,
     seeds: &[NodeId],
     theta: usize,
     seed: u64,
@@ -31,7 +44,7 @@ pub fn rr_estimate_spread(
     for &s in seeds {
         is_seed[s as usize] = true;
     }
-    let (sets, _) = sample_rr_batch(g, probs, theta, seed, 0);
+    let (sets, _) = sample_rr_batch_model(g, model, theta, seed, 0);
     let hit = sets
         .iter()
         .filter(|set| set.iter().any(|&u| is_seed[u as usize]))
@@ -40,13 +53,24 @@ pub fn rr_estimate_spread(
 }
 
 /// Estimates the singleton spread of **every** node from one sample of
-/// `theta` RR sets.
+/// `theta` RR sets — IC convenience over [`rr_singleton_spreads_model`].
 pub fn rr_singleton_spreads(g: &CsrGraph, probs: &AdProbs, theta: usize, seed: u64) -> Vec<f64> {
+    rr_singleton_spreads_model(g, &DiffusionModel::ic(probs.clone()), theta, seed)
+}
+
+/// Estimates the singleton spread of **every** node under an arbitrary
+/// diffusion model from one sample of `theta` RR sets.
+pub fn rr_singleton_spreads_model(
+    g: &CsrGraph,
+    model: &DiffusionModel,
+    theta: usize,
+    seed: u64,
+) -> Vec<f64> {
     let n = g.num_nodes();
     if n == 0 || theta == 0 {
         return vec![0.0; n];
     }
-    let (sets, _) = sample_rr_batch(g, probs, theta, seed, 0);
+    let (sets, _) = sample_rr_batch_model(g, model, theta, seed, 0);
     let mut counts = vec![0u64; n];
     // Membership counting does not care about set boundaries: scan the
     // arena's concatenated node storage directly.
@@ -87,6 +111,30 @@ mod tests {
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let probs = AdProbs::from_vec(vec![1.0; 3]);
         let s = rr_singleton_spreads(&g, &probs, 40_000, 7);
+        for (u, expect) in [(0usize, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)] {
+            assert!(
+                (s[u] - expect).abs() < 0.08,
+                "node {u}: {} vs {expect}",
+                s[u]
+            );
+        }
+    }
+
+    #[test]
+    fn lt_estimator_agrees_with_forward_lt_simulation() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let w = AdProbs::from_vec(vec![0.4, 0.6, 0.5, 0.3, 0.7]);
+        let model = rm_diffusion::DiffusionModel::lt(&g, w.clone());
+        let forward = rm_diffusion::estimate_lt_spread(&g, model.params(), &[0], 80_000, 11);
+        let rr = rr_estimate_spread_model(&g, &model, &[0], 80_000, 12);
+        assert!((forward - rr).abs() < 0.05, "forward {forward}, RR {rr}");
+    }
+
+    #[test]
+    fn lt_singleton_spreads_match_chain_truth() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let model = rm_diffusion::DiffusionModel::lt(&g, AdProbs::from_vec(vec![1.0; 3]));
+        let s = rr_singleton_spreads_model(&g, &model, 40_000, 13);
         for (u, expect) in [(0usize, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)] {
             assert!(
                 (s[u] - expect).abs() < 0.08,

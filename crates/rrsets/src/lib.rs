@@ -3,12 +3,14 @@
 //! Scalable influence-spread estimation in the style of Borgs et al. and
 //! TIM (Tang et al., SIGMOD 2014), adapted as the paper's §4 requires:
 //!
-//! * [`sampler`]: random **RR-set** generation under ad-specific edge
-//!   probabilities — pick a uniform target `w`, then traverse *incoming*
-//!   edges, keeping each independently with its probability; the resulting
-//!   node set `R` satisfies `σ(S) = n · Pr[S ∩ R ≠ ∅]`. Batches sample into
-//!   per-thread [`arena`]s (no per-set allocation) spliced in index order,
-//!   with per-set RNG streams derived by chained SplitMix64 mixing
+//! * [`sampler`]: random **RR-set** generation, generic over the diffusion
+//!   model (`rm_diffusion::DiffusionModel`). Under IC: pick a uniform target
+//!   `w`, then traverse *incoming* edges, keeping each independently with
+//!   its probability. Under LT: reverse-walk one live in-edge per node via
+//!   flat per-node Walker alias tables. Either way the resulting node set
+//!   `R` satisfies `σ(S) = n · Pr[S ∩ R ≠ ∅]` for its model. Batches sample
+//!   into per-thread [`arena`]s (no per-set allocation) spliced in index
+//!   order, with per-set RNG streams derived by chained SplitMix64 mixing
 //!   ([`sampler::stream_seed`]).
 //! * [`arena`]: **flat CSR storage** for RR-set batches — an `offsets`/
 //!   `nodes` array pair replacing `Vec<Vec<NodeId>>` end-to-end.
@@ -34,8 +36,13 @@ pub mod sampler;
 pub mod tim;
 
 pub use arena::RrArena;
-pub use estimator::{rr_estimate_spread, rr_singleton_spreads};
+pub use estimator::{
+    rr_estimate_spread, rr_estimate_spread_model, rr_singleton_spreads, rr_singleton_spreads_model,
+};
 pub use im::{tim_influence_maximization, ImResult};
 pub use index::{LazyGreedyHeap, RrCoverage};
-pub use sampler::{sample_rr_batch, sample_rr_set, stream_seed, PreparedSampler, RrWorkspace};
+pub use sampler::{
+    sample_rr_batch, sample_rr_batch_model, sample_rr_set, stream_seed, PreparedSampler,
+    RrWorkspace,
+};
 pub use tim::{log_choose, sample_size, KptEstimator, TimConfig};

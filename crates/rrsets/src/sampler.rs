@@ -1,8 +1,12 @@
-//! Random reverse-reachable set generation.
+//! Random reverse-reachable set generation, generic over the diffusion
+//! model: Independent Cascade keeps each incoming edge independently, Linear
+//! Threshold walks one live in-edge per node (Kempe et al.'s live-edge
+//! equivalence). Both modes sample directly into an [`RrArena`] with no
+//! per-set heap allocation.
 
 use rand::Rng;
 
-use rm_diffusion::AdProbs;
+use rm_diffusion::{AdProbs, DiffusionModel};
 use rm_graph::{CsrGraph, NodeId};
 
 use crate::arena::RrArena;
@@ -270,11 +274,208 @@ fn sample_rr_set_into(
     width
 }
 
+/// A full 24-bit coin threshold: `next_coin() < COIN_FULL` always holds.
+const COIN_FULL: u32 = 1 << 24;
+
+/// One in-slot record of the LT sampling tables: Walker-alias acceptance
+/// threshold (24-bit integer coin, see [`threshold`]), fallback in-slot
+/// (absolute index), and the slot's source node. 12 bytes keeps the reverse
+/// walk on a single sequential-per-node stream.
+#[derive(Clone, Copy)]
+struct LtSlot {
+    thr: u32,
+    alias: u32,
+    src: NodeId,
+}
+
+/// Builds the flat LT sampling tables: a Walker alias table per node over
+/// its gathered in-weights (stored in the node's own in-slot range of
+/// `slots`), plus the per-node 24-bit threshold for picking *any* in-edge
+/// (the total in-weight; the residual mass is "stop").
+///
+/// Construction is O(n + m) total — the small/large work lists are reused
+/// across nodes. Zero-weight in-edges are guaranteed unselectable: their
+/// buckets carry `thr = 0` and alias to a positive-weight slot of the same
+/// node, so even floating-point drift in the Vose pairing cannot leave a
+/// self-aliased zero-weight bucket behind.
+fn gather_lt_tables(g: &CsrGraph, weights: &AdProbs) -> (Vec<LtSlot>, Vec<u32>) {
+    let (in_sources, in_eids) = g.in_slots();
+    // Defaults (thr = FULL, alias = self) are what Vose leftovers keep.
+    let mut slots: Vec<LtSlot> = in_sources
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| LtSlot {
+            thr: COIN_FULL,
+            alias: i as u32,
+            src,
+        })
+        .collect();
+    let mut pick_thr = vec![0u32; g.num_nodes()];
+    let mut scaled: Vec<f64> = Vec::new();
+    let mut small: Vec<usize> = Vec::new();
+    let mut large: Vec<usize> = Vec::new();
+    for v in 0..g.num_nodes() as NodeId {
+        let (lo, hi) = g.in_slot_range(v);
+        let m = hi - lo;
+        if m == 0 {
+            continue;
+        }
+        let weight_of = |j: usize| f64::from(weights.get(in_eids[lo + j]));
+        let total: f64 = (0..m).map(weight_of).sum();
+        // The LT feasibility invariant is the caller's contract
+        // (`DiffusionModel::lt` water-fills); silently clamping an
+        // infeasible node would skew every edge's traversal probability
+        // from w_e to w_e/total, so surface the violation in debug builds.
+        debug_assert!(
+            total <= 1.0 + 1e-6,
+            "node {v}: LT in-weights sum to {total} > 1 — normalize first"
+        );
+        if total <= 0.0 {
+            // pick_thr stays 0: the walk always stops here, the node's alias
+            // slots are never consulted.
+            continue;
+        }
+        pick_thr[v as usize] = (total.min(1.0) * 16_777_216.0).ceil() as u32;
+        // Vose pairing over mean-1-scaled weights.
+        scaled.clear();
+        scaled.extend((0..m).map(|j| weight_of(j) * m as f64 / total));
+        small.clear();
+        large.clear();
+        for (j, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(j);
+            } else {
+                large.push(j);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            slots[lo + s].thr = (scaled[s].clamp(0.0, 1.0) * 16_777_216.0).ceil() as u32;
+            slots[lo + s].alias = (lo + l) as u32;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Zero-weight guard (see the doc comment above).
+        let first_pos = (0..m)
+            .find(|&j| weight_of(j) > 0.0)
+            .expect("total > 0 implies a positive weight");
+        for j in 0..m {
+            if weight_of(j) <= 0.0 {
+                slots[lo + j].thr = 0;
+                if slots[lo + j].alias as usize == lo + j {
+                    slots[lo + j].alias = (lo + first_pos) as u32;
+                }
+            }
+        }
+    }
+    (slots, pick_thr)
+}
+
+/// Appends the LT RR set of stream `set_seed` directly onto `arena`: a
+/// reverse walk from a uniform root, each node picking **at most one** live
+/// in-edge via its alias table (Kempe et al.'s live-edge model for LT),
+/// stopping on the no-edge residual or a revisit. No per-set allocation.
+/// Returns the set's width (member in-degree sum, same convention as IC).
+fn sample_lt_rr_set_into(
+    g: &CsrGraph,
+    slots: &[LtSlot],
+    pick_thr: &[u32],
+    ws: &mut RrWorkspace,
+    set_seed: u64,
+    arena: &mut RrArena,
+) -> u64 {
+    let n = g.num_nodes();
+    debug_assert!(n > 0, "cannot sample from an empty graph");
+    let mut rng = SplitMix64::new(set_seed);
+    ws.begin();
+    let root = (rng.next_u64() % n as u64) as NodeId;
+    ws.mark[root as usize] = ws.epoch;
+    arena.nodes.push(root);
+
+    let mut width = 0u64;
+    let mut cur = root;
+    loop {
+        let (lo, hi) = g.in_slot_range(cur);
+        let m = hi - lo;
+        width += m as u64;
+        if m == 0 {
+            break;
+        }
+        // Does `cur` pick an in-edge at all? (Total in-weight vs residual.)
+        if rng.next_coin() >= pick_thr[cur as usize] {
+            break;
+        }
+        // Walker alias draw among the node's in-slots: uniform bucket, then
+        // accept its own outcome or take the alias.
+        let bucket = lo + (rng.next_u64() % m as u64) as usize;
+        let s = slots[bucket];
+        let src = if rng.next_coin() < s.thr {
+            s.src
+        } else {
+            slots[s.alias as usize].src
+        };
+        if ws.mark[src as usize] == ws.epoch {
+            break; // walked into a cycle: the live path ends here
+        }
+        ws.mark[src as usize] = ws.epoch;
+        arena.nodes.push(src);
+        cur = src;
+    }
+    arena.offsets.push(arena.nodes.len() as u64);
+    width
+}
+
+/// Prepared sampling tables of one diffusion model (see [`PreparedSampler`]).
+enum Tables {
+    /// IC: in-slot-ordered integer acceptance thresholds + geometric-skip
+    /// parameters.
+    Ic {
+        slots: Vec<InSlot>,
+        skip_ln: Vec<f64>,
+    },
+    /// LT: per-node Walker alias tables + pick-any-edge thresholds.
+    Lt {
+        slots: Vec<LtSlot>,
+        pick_thr: Vec<u32>,
+    },
+}
+
+impl Tables {
+    /// Samples one RR set of stream `set_seed` onto the arena tail.
+    #[inline]
+    fn sample_one(
+        &self,
+        g: &CsrGraph,
+        ws: &mut RrWorkspace,
+        set_seed: u64,
+        arena: &mut RrArena,
+    ) -> u64 {
+        match self {
+            Tables::Ic { slots, skip_ln } => {
+                sample_rr_set_into(g, slots, skip_ln, ws, set_seed, arena)
+            }
+            Tables::Lt { slots, pick_thr } => {
+                sample_lt_rr_set_into(g, slots, pick_thr, ws, set_seed, arena)
+            }
+        }
+    }
+
+    /// Number of in-slot records (must equal the graph's edge count).
+    fn num_slots(&self) -> usize {
+        match self {
+            Tables::Ic { slots, .. } => slots.len(),
+            Tables::Lt { slots, .. } => slots.len(),
+        }
+    }
+}
+
 /// Samples the contiguous set-index range `lo..hi` into a fresh arena.
 fn sample_range(
     g: &CsrGraph,
-    slots: &[InSlot],
-    skip_ln: &[f64],
+    tables: &Tables,
     base: u64,
     first_index: u64,
     lo: usize,
@@ -289,18 +490,14 @@ fn sample_range(
     let pilot = 512.min(count);
     for idx in lo..lo + pilot {
         let set_seed = mix64(base ^ (first_index + idx as u64));
-        widths.push(sample_rr_set_into(
-            g, slots, skip_ln, &mut ws, set_seed, &mut arena,
-        ));
+        widths.push(tables.sample_one(g, &mut ws, set_seed, &mut arena));
     }
     if pilot < count {
         let projected = arena.total_nodes() * count / pilot;
         arena.reserve_nodes(projected + projected / 8);
         for idx in lo + pilot..hi {
             let set_seed = mix64(base ^ (first_index + idx as u64));
-            widths.push(sample_rr_set_into(
-                g, slots, skip_ln, &mut ws, set_seed, &mut arena,
-            ));
+            widths.push(tables.sample_one(g, &mut ws, set_seed, &mut arena));
         }
     }
     (arena, widths)
@@ -343,25 +540,40 @@ fn chunk_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Sampling tables prepared once per `(graph, probs)` pair: in-slot-ordered
-/// integer acceptance thresholds plus per-node geometric-skip parameters.
+/// Sampling tables prepared once per `(graph, model)` pair: IC gathers
+/// in-slot-ordered integer acceptance thresholds plus per-node
+/// geometric-skip parameters; LT gathers per-node Walker alias tables.
 /// Callers that grow a sample incrementally — the engine adds batches every
 /// latent-size update — should prepare once and reuse, instead of paying
 /// the `O(n + m)` gather per [`sample_rr_batch`] call.
 pub struct PreparedSampler {
-    slots: Vec<InSlot>,
-    skip_ln: Vec<f64>,
+    tables: Tables,
     thread_cap: usize,
 }
 
 impl PreparedSampler {
-    /// Gathers the sampling tables for `probs` on `g`.
+    /// Gathers Independent-Cascade sampling tables for `probs` on `g`.
     pub fn new(g: &CsrGraph, probs: &AdProbs) -> Self {
         let (slots, skip_ln) = gather_slots(g, probs);
         PreparedSampler {
-            slots,
-            skip_ln,
+            tables: Tables::Ic { slots, skip_ln },
             thread_cap: usize::MAX,
+        }
+    }
+
+    /// Gathers the sampling tables for an arbitrary diffusion model on `g`.
+    /// LT models must carry feasible in-weights (construct them via
+    /// [`DiffusionModel::lt`], which water-fills).
+    pub fn for_model(g: &CsrGraph, model: &DiffusionModel) -> Self {
+        match model {
+            DiffusionModel::IndependentCascade(probs) => Self::new(g, probs),
+            DiffusionModel::LinearThreshold(weights) => {
+                let (slots, pick_thr) = gather_lt_tables(g, weights);
+                PreparedSampler {
+                    tables: Tables::Lt { slots, pick_thr },
+                    thread_cap: usize::MAX,
+                }
+            }
         }
     }
 
@@ -375,7 +587,14 @@ impl PreparedSampler {
 
     /// Resident bytes of the prepared tables (capacity-based).
     pub fn memory_bytes(&self) -> usize {
-        8 * self.slots.capacity() + 8 * self.skip_ln.capacity()
+        match &self.tables {
+            Tables::Ic { slots, skip_ln } => {
+                std::mem::size_of::<InSlot>() * slots.capacity() + 8 * skip_ln.capacity()
+            }
+            Tables::Lt { slots, pick_thr } => {
+                std::mem::size_of::<LtSlot>() * slots.capacity() + 4 * pick_thr.capacity()
+            }
+        }
     }
 
     /// Samples `count` RR sets in parallel over `g` — which must be the graph
@@ -398,7 +617,7 @@ impl PreparedSampler {
         first_index: u64,
     ) -> (RrArena, Vec<u64>) {
         debug_assert_eq!(
-            self.slots.len(),
+            self.tables.num_slots(),
             g.num_edges(),
             "sampler prepared on a different graph"
         );
@@ -408,9 +627,7 @@ impl PreparedSampler {
             return (arena, vec![0u64; count]);
         }
         let base = mix64(seed);
-        let run = |lo: usize, hi: usize| {
-            sample_range(g, &self.slots, &self.skip_ln, base, first_index, lo, hi)
-        };
+        let run = |lo: usize, hi: usize| sample_range(g, &self.tables, base, first_index, lo, hi);
 
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -458,6 +675,24 @@ pub fn sample_rr_batch(
         return (arena, vec![0u64; count]);
     }
     PreparedSampler::new(g, probs).sample_batch(g, count, seed, first_index)
+}
+
+/// Model-generic one-shot batch sampling: gathers the tables for `model`
+/// (IC or LT) and samples `count` RR sets. See
+/// [`PreparedSampler::sample_batch`] for the semantics.
+pub fn sample_rr_batch_model(
+    g: &CsrGraph,
+    model: &DiffusionModel,
+    count: usize,
+    seed: u64,
+    first_index: u64,
+) -> (RrArena, Vec<u64>) {
+    if count == 0 || g.num_nodes() == 0 {
+        let mut arena = RrArena::new();
+        arena.push_empty_sets(count);
+        return (arena, vec![0u64; count]);
+    }
+    PreparedSampler::for_model(g, model).sample_batch(g, count, seed, first_index)
 }
 
 #[cfg(test)]
@@ -628,6 +863,79 @@ mod tests {
             (mean - 10.0).abs() < 0.1,
             "accepted-leaf mean {mean}, want 10"
         );
+    }
+
+    #[test]
+    fn lt_chain_sets_are_prefix_paths() {
+        // LT with weight 1 on every edge: the reverse walk from target t
+        // deterministically follows the chain back to 0, so the RR set of
+        // target t is exactly the path t, t−1, …, 0 — and its width is the
+        // member in-degree sum.
+        let g = chain();
+        let model = DiffusionModel::lt(&g, AdProbs::from_vec(vec![1.0; 3]));
+        let (arena, widths) = sample_rr_batch_model(&g, &model, 200, 3, 0);
+        assert_eq!(arena.len(), 200);
+        for (set, &w) in arena.iter().zip(&widths) {
+            let t = set[0];
+            let expect: Vec<NodeId> = (0..=t).rev().collect();
+            assert_eq!(set, &expect[..], "LT chain walk must be a prefix path");
+            let expect_w: u64 = set.iter().map(|&v| g.in_degree(v) as u64).sum();
+            assert_eq!(w, expect_w);
+        }
+    }
+
+    #[test]
+    fn lt_batch_deterministic_and_indexed() {
+        let g = chain();
+        let model = DiffusionModel::lt(&g, AdProbs::from_vec(vec![0.5; 3]));
+        let (a, wa) = sample_rr_batch_model(&g, &model, 100, 9, 0);
+        let (b, wb) = sample_rr_batch_model(&g, &model, 100, 9, 0);
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+        // Growing a sample continues the same logical sequence.
+        let (full, _) = sample_rr_batch_model(&g, &model, 150, 9, 0);
+        let (tail, _) = sample_rr_batch_model(&g, &model, 50, 9, 100);
+        assert!(full.iter().skip(100).eq(tail.iter()));
+        // Thread-cap independence: capped at 1 worker, same arena.
+        let mut capped = PreparedSampler::for_model(&g, &model);
+        capped.set_thread_cap(1);
+        let (c, wc) = capped.sample_batch(&g, 100, 9, 0);
+        assert_eq!(a, c);
+        assert_eq!(wa, wc);
+    }
+
+    #[test]
+    fn lt_membership_frequency_estimates_singleton_spread() {
+        // Two parents with weight 0.5 each into node 2 (no other edges).
+        // σ_LT({0}) = Pr[root=0] + Pr[root=2]·Pr[2 picks edge from 0] scaled
+        // by n: 3 · (1/3 + 1/3·1/2) = 1.5.
+        let g = graph_from_edges(3, &[(0, 2), (1, 2)]);
+        let model = DiffusionModel::lt(&g, AdProbs::from_vec(vec![0.5, 0.5]));
+        let theta = 60_000;
+        let (sets, _) = sample_rr_batch_model(&g, &model, theta, 17, 0);
+        let count0 = sets.iter().filter(|s| s.contains(&0)).count();
+        let est = 3.0 * count0 as f64 / theta as f64;
+        assert!((est - 1.5).abs() < 0.03, "σ({{0}}) est {est}, want 1.5");
+    }
+
+    #[test]
+    fn lt_zero_weight_edges_never_traversed() {
+        // In-star onto node 20 where half the edges have weight zero: sets
+        // through the center may only contain positive-weight leaves.
+        let edges: Vec<(u32, u32)> = (0..20).map(|leaf| (leaf, 20)).collect();
+        let g = graph_from_edges(21, &edges);
+        let w: Vec<f32> = (0..20)
+            .map(|leaf| if leaf % 2 == 0 { 0.1 } else { 0.0 })
+            .collect();
+        let model = DiffusionModel::lt(&g, AdProbs::from_vec(w));
+        let (sets, _) = sample_rr_batch_model(&g, &model, 20_000, 23, 0);
+        for set in sets.iter() {
+            for &v in &set[1..] {
+                if v < 20 {
+                    assert!(v % 2 == 0, "zero-weight in-edge from leaf {v} traversed");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! caches the widths of its pilot RR sets so the bound can be re-evaluated
 //! for any `s` without fresh sampling.
 
-use rm_diffusion::AdProbs;
+use rm_diffusion::{AdProbs, DiffusionModel};
 use rm_graph::CsrGraph;
 
 use crate::sampler::PreparedSampler;
@@ -89,6 +89,19 @@ impl KptEstimator {
     /// `seed`. Graphs with no edges yield the trivial bound.
     pub fn estimate(g: &CsrGraph, probs: &AdProbs, k: usize, cfg: &TimConfig, seed: u64) -> Self {
         Self::estimate_with_sampler(g, &PreparedSampler::new(g, probs), k, cfg, seed)
+    }
+
+    /// [`Self::estimate`] under an arbitrary diffusion model (the pilot RR
+    /// sets — and hence the cached widths — come from that model's sampler;
+    /// the width convention, member in-degree sum, is model-independent).
+    pub fn estimate_model(
+        g: &CsrGraph,
+        model: &DiffusionModel,
+        k: usize,
+        cfg: &TimConfig,
+        seed: u64,
+    ) -> Self {
+        Self::estimate_with_sampler(g, &PreparedSampler::for_model(g, model), k, cfg, seed)
     }
 
     /// [`Self::estimate`] over already-prepared sampling tables, so a caller

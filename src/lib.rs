@@ -70,7 +70,7 @@ pub mod prelude {
         IncentiveSchedule, RmInstance, RunStats, ScalableConfig, SeedAllocation, SingletonMethod,
         TiEngine, Window,
     };
-    pub use rm_diffusion::{TicModel, TopicDistribution};
+    pub use rm_diffusion::{DiffusionKind, DiffusionModel, TicModel, TopicDistribution};
     pub use rm_graph::{CsrGraph, NodeId, SyntheticDataset};
 }
 
