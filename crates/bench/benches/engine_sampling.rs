@@ -1,0 +1,65 @@
+//! End-to-end engine wall time under the two sample-sizing strategies on a
+//! small Table-3-style TI-CSRM workload: the TIM-style fixed-θ schedule vs
+//! the OPIM-style online stopping rule (`SamplingStrategy::OnlineBounds`).
+//! The recorded full-size numbers live in `BENCH_rrsets.json` under
+//! `opim_vs_fixed_theta`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_bench::setup::{scalability_config, scalability_instance};
+use rm_core::{AlgorithmKind, SamplingStrategy, ScalableConfig, TiEngine};
+use rm_graph::SyntheticDataset;
+
+fn bench_engine_sampling(c: &mut Criterion) {
+    // DBLP-like at a bench-friendly scale; budgets scale with the dataset
+    // like the fig5/table3 sweep does.
+    let scale = 0.01;
+    let inst = scalability_instance(
+        SyntheticDataset::DblpLike,
+        5,
+        10_000.0 * scale,
+        scale,
+        20_170_419,
+    );
+
+    let quick = std::env::var("RRSETS_BENCH_QUICK").is_ok();
+    let mut group = c.benchmark_group("engine_sampling");
+    group.measurement_time(std::time::Duration::from_millis(if quick {
+        400
+    } else {
+        8000
+    }));
+    group.sample_size(if quick { 2 } else { 10 });
+    for strategy in [SamplingStrategy::FixedTheta, SamplingStrategy::OnlineBounds] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let cfg = ScalableConfig {
+                    sampling: strategy,
+                    ..scalability_config(20_170_419)
+                };
+                let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+                (alloc.num_seeds(), stats.rr_sets_sampled)
+            });
+        });
+    }
+    group.finish();
+
+    // Not a timing: the sets-drawn ratio this workload realizes, printed
+    // for BENCH_rrsets.json bookkeeping.
+    for strategy in [SamplingStrategy::FixedTheta, SamplingStrategy::OnlineBounds] {
+        let cfg = ScalableConfig {
+            sampling: strategy,
+            ..scalability_config(20_170_419)
+        };
+        let (_, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+        println!(
+            "engine_sampling/{}: rr_sets_sampled {} (θ total {}, bound checks {})",
+            strategy.name(),
+            stats.rr_sets_sampled,
+            stats.total_theta(),
+            stats.bound_checks,
+        );
+    }
+}
+
+criterion_group!(benches, bench_engine_sampling);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! experiments <id> [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]
 //!
 //! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality
-//!      ablation-lazy ablation-term ablation-singleton
+//!      ablation-lazy ablation-term ablation-singleton ablation-opim
 //!      quality   (fig2+fig3+fig4)
 //!      scalability (fig5+table3)
 //!      all
@@ -70,6 +70,7 @@ fn run(id: &str, opts: Opts) {
         "ablation-lazy" => experiments::ablation_lazy(opts),
         "ablation-term" => experiments::ablation_termination(opts),
         "ablation-singleton" => experiments::ablation_singleton(opts),
+        "ablation-opim" => experiments::ablation_opim(opts),
         "quality" => {
             experiments::fig2_fig3(opts);
             experiments::fig4(opts);
@@ -86,6 +87,7 @@ fn run(id: &str, opts: Opts) {
             experiments::ablation_lazy(opts);
             experiments::ablation_termination(opts);
             experiments::ablation_singleton(opts);
+            experiments::ablation_opim(opts);
         }
         other => {
             eprintln!("unknown experiment id: {other}");
@@ -100,6 +102,7 @@ fn usage() {
     eprintln!(
         "usage: experiments <id>... [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]\n\
          ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality\n\
-              ablation-lazy ablation-term ablation-singleton quality scalability all"
+              ablation-lazy ablation-term ablation-singleton ablation-opim\n\
+              quality scalability all"
     );
 }

@@ -5,7 +5,8 @@
 //! index and `EXPERIMENTS.md` for paper-vs-measured records.
 
 use rm_core::{
-    evaluate_allocation, AlgorithmKind, EvalMethod, RmInstance, ScalableConfig, TiEngine, Window,
+    evaluate_allocation, AlgorithmKind, EvalMethod, RmInstance, SamplingStrategy, ScalableConfig,
+    TiEngine, Window,
 };
 use rm_graph::{degree, SyntheticDataset};
 
@@ -510,6 +511,68 @@ pub fn ablation_termination(opts: Opts) {
         }
     }
     t.emit();
+}
+
+/// Ablation: OPIM-style online stopping rule vs the TIM-style fixed-θ
+/// schedule, on the Table-3-style TI-CSRM scalability workload — RR sets
+/// drawn (both streams counted), wall time, and independently evaluated
+/// revenue at equal ε. The `opim_vs_fixed_theta` entry of
+/// `BENCH_rrsets.json` records a full-size run of this experiment.
+pub fn ablation_opim(opts: Opts) {
+    let mut t = Table::new(
+        "ablation_opim",
+        &[
+            "dataset",
+            "strategy",
+            "rr_sets",
+            "theta_total",
+            "bound_checks",
+            "time_s",
+            "revenue",
+            "seeds",
+        ],
+    );
+    let ds = SyntheticDataset::DblpLike;
+    let s = lj_scale(ds, opts.scale);
+    let inst = scalability_instance(ds, 5, 10_000.0 * s, s, opts.seed);
+    let eval = EvalMethod::RrSets {
+        theta: eval_theta(&inst),
+    };
+    let mut drawn = [0u64; 2];
+    let mut wall = [0f64; 2];
+    for (i, strategy) in [SamplingStrategy::FixedTheta, SamplingStrategy::OnlineBounds]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = ScalableConfig {
+            sampling: strategy,
+            ..scalability_config(opts.seed)
+        };
+        let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+        let report = evaluate_allocation(&inst, &alloc, eval, opts.seed ^ 0x0B);
+        drawn[i] = stats.rr_sets_sampled;
+        wall[i] = stats.elapsed.as_secs_f64();
+        t.push(vec![
+            ds.to_string(),
+            strategy.name().into(),
+            stats.rr_sets_sampled.to_string(),
+            stats.total_theta().to_string(),
+            stats.bound_checks.to_string(),
+            fmt(stats.elapsed.as_secs_f64()),
+            fmt(report.total_revenue()),
+            alloc.num_seeds().to_string(),
+        ]);
+        println!("[ablation-opim] {} done", strategy.name());
+    }
+    t.emit();
+    println!(
+        "[ablation-opim] sets drawn: fixed {} vs online {} ({:.1}% fewer); wall {:.2}s vs {:.2}s",
+        drawn[0],
+        drawn[1],
+        100.0 * (1.0 - drawn[1] as f64 / drawn[0].max(1) as f64),
+        wall[0],
+        wall[1],
+    );
 }
 
 /// Ablation: singleton-spread estimation method behind incentive pricing.

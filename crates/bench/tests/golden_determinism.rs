@@ -1,9 +1,12 @@
-//! Golden determinism snapshot: `experiments fig1 table2 --quick` at the
+//! Golden determinism snapshots: `experiments fig1 table2 --quick` at the
 //! default seed must produce **byte-identical** CSV output across runs (and
 //! across thread counts — the harness threads never touch these artifacts'
 //! arithmetic, and the sampler is thread-count-invariant by construction,
-//! which `tests/cross_model_consistency.rs` verifies on real batches). The
-//! current output is pinned under `tests/golden/`; a diff here means a
+//! which `tests/cross_model_consistency.rs` verifies on real batches), and
+//! the `fig5 table3 --quick` scalability sweep must match its pinned
+//! goldens after the volatile columns (wall time, capacity-based memory)
+//! are stripped — seeds, θ and revenue are deterministic engine outputs.
+//! The current output is pinned under `tests/golden/`; a diff here means a
 //! determinism regression or an intentional artifact change that must
 //! re-pin the goldens.
 
@@ -56,5 +59,77 @@ fn fig1_and_table2_quick_match_pinned_goldens_across_runs() {
         table2_a,
         include_str!("golden/table2_terms.csv"),
         "table2 CSV deviates from the pinned golden — re-pin only for an intentional artifact change"
+    );
+}
+
+/// Drops the named columns from a CSV (header-addressed), keeping the rest
+/// byte-exact — how the fig5/table3 snapshots exclude wall-clock and
+/// allocator-capacity columns while pinning every deterministic one.
+fn strip_columns(csv: &str, drop: &[&str]) -> String {
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("empty CSV").split(',').collect();
+    let keep: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| !drop.contains(h))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        header.len() - keep.len(),
+        drop.len(),
+        "a column to strip is missing from {header:?}"
+    );
+    let mut out = String::new();
+    for line in std::iter::once(header.join(",")).chain(lines.map(str::to_string)) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let kept: Vec<&str> = keep.iter().map(|&i| cells[i]).collect();
+        out.push_str(&kept.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs the full quick scalability sweep twice; exercised in the release statistical CI job"
+)]
+fn fig5_table3_quick_match_pinned_goldens_modulo_volatile_columns() {
+    // A tiny but engine-exercising scale: 8 TiEngine runs across two
+    // datasets, two algorithms, h and budget grids.
+    let opts = Opts {
+        quick: true,
+        scale: 0.004,
+        ..Default::default()
+    };
+    experiments::fig5_table3(opts);
+    let time_h = strip_columns(&read_artifact("fig5_runtime_vs_h"), &["time_s"]);
+    let time_b = strip_columns(&read_artifact("fig5_runtime_vs_budget"), &["time_s"]);
+    let mem = strip_columns(&read_artifact("table3_memory_vs_h"), &["memory_gib"]);
+
+    // Determinism across runs first: a second sweep must reproduce the
+    // stripped CSVs byte-for-byte.
+    experiments::fig5_table3(opts);
+    assert_eq!(
+        time_h,
+        strip_columns(&read_artifact("fig5_runtime_vs_h"), &["time_s"]),
+        "fig5 runtime-vs-h CSV drifted between runs"
+    );
+
+    // Then the pinned goldens.
+    assert_eq!(
+        time_h,
+        include_str!("golden/fig5_runtime_vs_h.stripped.csv"),
+        "fig5 runtime-vs-h deviates from the pinned golden — re-pin only for an intentional change"
+    );
+    assert_eq!(
+        time_b,
+        include_str!("golden/fig5_runtime_vs_budget.stripped.csv"),
+        "fig5 runtime-vs-budget deviates from the pinned golden — re-pin only for an intentional change"
+    );
+    assert_eq!(
+        mem,
+        include_str!("golden/table3_memory_vs_h.stripped.csv"),
+        "table3 memory-vs-h deviates from the pinned golden — re-pin only for an intentional change"
     );
 }

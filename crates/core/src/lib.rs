@@ -38,4 +38,4 @@ pub use incentives::{IncentiveModel, IncentiveSchedule, SingletonMethod};
 pub use instance::RmInstance;
 pub use metrics::RunStats;
 pub use oracle::{ExactOracle, McOracle, SpreadOracle};
-pub use scalable::{AlgorithmKind, ScalableConfig, TiEngine, Window};
+pub use scalable::{AlgorithmKind, SamplingStrategy, ScalableConfig, TiEngine, Window};

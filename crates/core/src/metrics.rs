@@ -30,6 +30,9 @@ pub struct RunStats {
     pub sample_capped: bool,
     /// Candidate evaluations performed (lazy-evaluation ablation metric).
     pub candidate_evaluations: u64,
+    /// Stopping-rule evaluations performed across ads (OnlineBounds mode
+    /// only; 0 under the fixed-θ schedule).
+    pub bound_checks: u64,
     /// Ads retired early because their remaining budget headroom could not
     /// cover any feasible candidate payment (they stop proposing).
     pub budget_exhausted_ads: usize,

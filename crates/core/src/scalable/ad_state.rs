@@ -1,7 +1,7 @@
 //! Per-advertiser state of the scalable engine.
 
 use rm_graph::NodeId;
-use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage};
+use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule};
 
 /// Everything the engine tracks for one advertiser.
 pub(crate) struct AdState {
@@ -34,19 +34,60 @@ pub(crate) struct AdState {
     pub exhausted: bool,
     /// Base seed of this ad's RR sampling stream.
     pub sample_seed: u64,
-    /// RR sets sampled for this ad (including growth batches).
+    /// RR sets sampled for this ad (including growth batches and, under
+    /// [`super::config::SamplingStrategy::OnlineBounds`], the validation
+    /// stream).
     pub samples: u64,
     /// True if the θ cap was hit.
     pub capped: bool,
+    /// Stopping-rule checks performed for this ad (OnlineBounds only).
+    pub bound_checks: u64,
+    /// Online-bounds state; `None` under the fixed-θ schedule.
+    pub opim: Option<OpimAdState>,
+}
+
+/// Extra per-ad state of the online (OPIM-style) sampling mode.
+pub(crate) struct OpimAdState {
+    /// Validation-stream coverage index. It tracks the committed seed set
+    /// (commits cover it) but **never drives candidate ranking**: the
+    /// greedy heap and the marginals candidates are ordered by read the
+    /// selection stream only. Its consumers are the stopping rule
+    /// (achieved-coverage lower bound), [`AdState::pi`] (the engine's
+    /// internal revenue estimate — free of the selection stream's
+    /// winner's-curse bias, so budget accounting charges an unbiased π̂),
+    /// and the engine's budget-feasibility gate (which must charge exactly
+    /// what a commit will charge). The budget gate means commit *timing*
+    /// is correlated with validation draws even though ranking is not —
+    /// the concentration argument conditions on the committed prefix, the
+    /// same idealization the fixed-θ machinery makes for its single
+    /// selection-correlated stream (see DESIGN.md).
+    pub val_cov: RrCoverage,
+    /// Base seed of the validation RR stream (independent of
+    /// [`AdState::sample_seed`] by stream derivation).
+    pub val_seed: u64,
+    /// Doubling cap: Eq. 8's worst-case θ for the current latent size.
+    pub theta_cap: usize,
+    /// The martingale stopping rule shared by every check of this ad.
+    pub rule: StoppingRule,
 }
 
 impl AdState {
     /// Internal revenue estimate `π_j(S_j) = cpe · n · covered/θ`.
+    ///
+    /// Under OnlineBounds the covered count comes from the validation
+    /// stream: seeds are *selected* on the other stream, so this count is
+    /// free of the argmax selection bias that would otherwise overstate
+    /// revenue (and exhaust budgets early) on the small samples the
+    /// stopping rule certifies. Both streams share θ.
     pub fn pi(&self, cpe: f64, n: usize) -> f64 {
         if self.theta == 0 {
             return 0.0;
         }
-        cpe * n as f64 * self.cov.covered_total() as f64 / self.theta as f64
+        let covered = match &self.opim {
+            Some(op) => op.val_cov.covered_total(),
+            None => self.cov.covered_total(),
+        };
+        cpe * n as f64 * covered as f64 / self.theta as f64
     }
 
     /// Marginal revenue of a candidate with `cov_v` uncovered sets.

@@ -39,6 +39,32 @@ impl AlgorithmKind {
     }
 }
 
+/// How the engine sizes each advertiser's RR sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SamplingStrategy {
+    /// TIM-style worst-case schedule (the paper's setting): θ = `L(s, ε)`
+    /// of Eq. 8 with the KPT* pilot lower bound, recomputed at every
+    /// latent-size update.
+    FixedTheta,
+    /// OPIM-style online stopping rule (`rm_rrsets::opim`): two independent
+    /// RR streams per ad, doubling from a small pilot only until the
+    /// martingale lower bound on the achieved coverage clears
+    /// `(1 − 1/e − ε)` times the upper bound on OPT's coverage, with
+    /// Eq. 8's θ as the doubling cap. Typically draws far fewer sets for
+    /// the same guarantee.
+    OnlineBounds,
+}
+
+impl SamplingStrategy {
+    /// Display name used by experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingStrategy::FixedTheta => "fixed-theta",
+            SamplingStrategy::OnlineBounds => "online-bounds",
+        }
+    }
+}
+
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ScalableConfig {
@@ -58,6 +84,15 @@ pub struct ScalableConfig {
     /// `true` = CELF-style lazy candidate heaps; `false` = eager full scans
     /// every round (ablation baseline).
     pub lazy: bool,
+    /// Sample-sizing strategy: the paper's fixed-θ schedule, or the online
+    /// OPIM-style stopping rule.
+    pub sampling: SamplingStrategy,
+    /// Cap on the worker threads each ad's RR sampler may spawn
+    /// (`usize::MAX` = hardware parallelism). Results are identical for
+    /// every value — the sampler is thread-count-invariant by
+    /// construction — so this only exists to bound resource use and to let
+    /// tests assert that invariance at the engine level.
+    pub sampler_threads: usize,
     /// Master RNG seed; every run is deterministic given it.
     pub seed: u64,
 }
@@ -71,6 +106,8 @@ impl Default for ScalableConfig {
             strict_termination: true,
             max_sets_per_ad: 20_000_000,
             lazy: true,
+            sampling: SamplingStrategy::FixedTheta,
+            sampler_threads: usize::MAX,
             seed: 0x5EED,
         }
     }
@@ -103,6 +140,11 @@ mod tests {
         assert_eq!(c.epsilon, 0.1);
         assert_eq!(c.window, Window::Full);
         assert!(c.strict_termination);
+        // The default sampling path is the paper's fixed-θ schedule so
+        // existing runs stay bit-identical; OnlineBounds is opt-in.
+        assert_eq!(c.sampling, SamplingStrategy::FixedTheta);
+        assert_eq!(c.sampler_threads, usize::MAX);
+        assert_eq!(SamplingStrategy::OnlineBounds.name(), "online-bounds");
         let s = ScalableConfig::scalability();
         assert_eq!(s.epsilon, 0.3);
         assert_eq!(s.window, Window::Size(5000));

@@ -5,15 +5,16 @@ use std::time::Instant;
 
 use rm_graph::NodeId;
 use rm_rrsets::{
-    sample_size, stream_seed, KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, TimConfig,
+    opim, stream_seed, KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule,
+    TimConfig,
 };
 
 use crate::allocation::SeedAllocation;
 use crate::instance::RmInstance;
 use crate::metrics::RunStats;
 
-use super::ad_state::AdState;
-use super::config::{AlgorithmKind, ScalableConfig, Window};
+use super::ad_state::{AdState, OpimAdState};
+use super::config::{AlgorithmKind, SamplingStrategy, ScalableConfig, Window};
 
 /// Floor on incentive costs when forming coverage-to-cost ratios, so
 /// zero-incentive nodes (possible under sublinear pricing) do not produce
@@ -104,6 +105,12 @@ impl<'a> TiEngine<'a> {
                     st.seeds.push(committed_v);
                     st.is_seed[committed_v as usize] = true;
                     st.cov.cover_with(committed_v);
+                    // OnlineBounds: the validation stream tracks the
+                    // committed set too — it feeds the unbiased π̂ and the
+                    // stopping rule's achieved count (never selection).
+                    if let Some(op) = st.opim.as_mut() {
+                        op.val_cov.cover_with(committed_v);
+                    }
                     st.cost_total += self.inst.incentives[i].cost(committed_v);
                     if matches!(
                         self.kind,
@@ -160,7 +167,11 @@ impl<'a> TiEngine<'a> {
             stats.revenue_per_ad[i] = st.pi(self.inst.ads[i].cpe, n);
             stats.seeding_cost_per_ad[i] = st.cost_total;
             stats.rr_memory_bytes += st.cov.memory_bytes() + st.sampler.memory_bytes();
+            if let Some(op) = &st.opim {
+                stats.rr_memory_bytes += op.val_cov.memory_bytes();
+            }
             stats.rr_sets_sampled += st.samples;
+            stats.bound_checks += st.bound_checks;
             stats.sample_capped |= st.capped;
             alloc.seeds[i] = st.seeds;
         }
@@ -198,7 +209,7 @@ impl<'a> TiEngine<'a> {
         // Split the thread budget between the two fan-out layers: `workers`
         // ad initializations in flight, each allowed `cores / workers`
         // sampler threads, so the product stays at the core count.
-        let inner_threads = (cores / workers).max(1);
+        let inner_threads = (cores / workers).max(1).min(self.cfg.sampler_threads);
         if workers == 1 {
             return pr_orders
                 .drain(..)
@@ -254,19 +265,45 @@ impl<'a> TiEngine<'a> {
         let mut sampler = PreparedSampler::for_model(g, &self.inst.model(j));
         sampler.set_thread_cap(threads);
         let kpt_seed = stream_seed(self.cfg.seed ^ 0x4B50_7E57, j as u64);
+        // One KPT pilot serves both strategies: Eq. 8's θ is the fixed-θ
+        // sample size and the online mode's doubling cap.
         let kpt = KptEstimator::estimate_with_sampler(g, &sampler, 1, tim, kpt_seed);
         let s_latent = 1usize;
-        let theta = sample_size(n, s_latent, tim, kpt.opt_lower_bound(s_latent));
-        let capped = theta >= tim.max_sets_per_ad;
+        let theta_full = kpt.theta_for(n, s_latent, tim);
+        let capped = theta_full >= tim.max_sets_per_ad
+            && matches!(self.cfg.sampling, SamplingStrategy::FixedTheta);
+        let (theta, op) = match self.cfg.sampling {
+            SamplingStrategy::FixedTheta => (theta_full, None),
+            SamplingStrategy::OnlineBounds => {
+                // The per-ad valve bounds *total* sets; with two streams
+                // each may use at most half, so OnlineBounds never draws
+                // more than `max_sets_per_ad` sets even when the rule
+                // never certifies.
+                let theta_cap = theta_full.min(self.online_stream_valve(tim));
+                (
+                    opim::initial_theta(theta_cap),
+                    Some(OpimAdState {
+                        val_cov: RrCoverage::new(n),
+                        val_seed: stream_seed(self.cfg.seed ^ 0x0B5E_55ED, j as u64),
+                        theta_cap,
+                        rule: StoppingRule::new(n, self.cfg.epsilon, self.cfg.ell),
+                    }),
+                )
+            }
+        };
         let sample_seed = stream_seed(self.cfg.seed ^ 0x005A_3D17, j as u64);
         let (sets, _) = sampler.sample_batch(g, theta, sample_seed, 0);
-        // Growth batches run one ad at a time: restore full parallelism.
-        sampler.set_thread_cap(usize::MAX);
         let no_seeds = vec![false; n];
         let mut cov = RrCoverage::new(n);
         cov.add_batch(&sets, &no_seeds);
-        let heap = self.build_heap(&cov, j, &no_seeds);
-        AdState {
+        let mut samples = theta as u64;
+        let op = op.map(|mut op| {
+            let (val_sets, _) = sampler.sample_batch(g, theta, op.val_seed, 0);
+            op.val_cov.add_batch(&val_sets, &no_seeds);
+            samples += theta as u64;
+            op
+        });
+        let mut st = AdState {
             idx: j,
             sampler,
             cov,
@@ -276,14 +313,124 @@ impl<'a> TiEngine<'a> {
             seeds: Vec::new(),
             is_seed: vec![false; n],
             cost_total: 0.0,
-            heap,
+            heap: LazyGreedyHeap::default(),
             pr_order,
             pr_cursor: 0,
             exhausted: false,
             sample_seed,
-            samples: theta as u64,
+            samples,
             capped,
+            bound_checks: 0,
+            opim: op,
+        };
+        // OnlineBounds: double from the pilot until the stopping rule
+        // certifies the initial latent size (or the Eq. 8 cap is reached).
+        if st.opim.is_some() {
+            self.certify_or_double(&mut st, tim, &no_seeds);
         }
+        // Growth batches run one ad at a time: restore the configured cap.
+        st.sampler.set_thread_cap(self.cfg.sampler_threads);
+        st.heap = self.build_heap(&st.cov, j, &no_seeds);
+        st
+    }
+
+    /// The online-bounds growth loop: evaluates the stopping rule at the
+    /// current sample and doubles **both** RR streams until it certifies
+    /// `LB/UB ≥ 1 − 1/e − ε` for the ad's current latent size, or the
+    /// doubling cap — Eq. 8's worst case, clamped to the per-stream valve —
+    /// is reached (at Eq. 8's θ the fixed-θ guarantee applies regardless).
+    /// Returns `true` if the sample grew.
+    ///
+    /// Each check clones the selection index once (greedy extension) and
+    /// the validation index once (extension counts). Checks happen a
+    /// handful of times per latent-size epoch and the indexes compact as
+    /// seeds commit, so this is far below the sampling cost it avoids —
+    /// the ablation's wall-clock numbers include it.
+    ///
+    /// The rule certifies the **residual** problem at the latent size `s`:
+    /// with `|S|` seeds committed and `k = s − |S|` more allowed, the
+    /// coverage gain beyond `S` is itself monotone submodular, so the
+    /// greedy `k`-extension on the selection stream is `(1 − 1/e)`-optimal
+    /// for it. The achieved side lower-bounds that extension's gain on the
+    /// *validation* stream; the OPT side upper-bounds the best residual
+    /// gain on the *selection* stream by the smallest of three observable
+    /// bounds (top-`k` marginal sum, extension gain + post-extension
+    /// top-`k`, and the greedy `(1 − 1/e)` bound). A provably negligible
+    /// residual — at most ε times the validated achieved coverage —
+    /// certifies too (further precision is inside Eq. 8's additive slack).
+    fn certify_or_double(&self, st: &mut AdState, tim: &TimConfig, assigned: &[bool]) -> bool {
+        let g = &self.inst.graph;
+        let mut grew = false;
+        loop {
+            let op = st
+                .opim
+                .as_ref()
+                .expect("certify_or_double requires opim state");
+            let s = st.s_latent.max(1);
+            let k = s.saturating_sub(st.seeds.len()).max(1);
+            // Greedy residual extension on the selection stream. Assigned
+            // nodes are out for both sides: the residual optimum is over
+            // the nodes this ad could still pick.
+            let ext = st.cov.greedy_extension(k, k, |v| assigned[v as usize]);
+            let ext_gain = (ext.covered - st.cov.covered_total()) as u64;
+            let top_k = st.cov.top_k_sum(k, |v| assigned[v as usize]);
+            let greedy_ub = ext_gain as f64 / (1.0 - (-1.0f64).exp());
+            let residual_ub = ((top_k.min(ext_gain + ext.residual_top)) as f64).min(greedy_ub);
+            // Validation-stream counts: the index already tracks the
+            // committed set, so only the extension is applied on a scratch
+            // clone. `achieved` includes the committed coverage.
+            let (achieved, gain) = op.val_cov.coverage_split(&[], &ext.picks);
+            st.bound_checks += 1;
+            let check = op.rule.check(
+                st.theta,
+                st.bound_checks,
+                achieved as f64,
+                gain as f64,
+                residual_ub,
+            );
+            if std::env::var("RM_OPIM_DEBUG").is_ok() {
+                eprintln!(
+                    "[opim] ad {} θ={} s={} |S|={} k={} gain={} achieved={} res_ub={:.0} lb={:.0} ub={:.0} ratio={:.3} target={:.3}",
+                    st.idx, st.theta, s, st.seeds.len(), k, gain, achieved, residual_ub,
+                    check.gain_lower, check.residual_upper,
+                    check.gain_lower / check.residual_upper, op.rule.target(),
+                );
+            }
+            if check.satisfied {
+                return grew;
+            }
+            if st.theta >= op.theta_cap {
+                // Doubling budget exhausted without certifying. Reaching
+                // Eq. 8's θ keeps the worst-case guarantee; being stopped
+                // short of it by the per-ad resource valve degrades the
+                // estimates and is reported like the fixed-θ cap.
+                if op.theta_cap < st.kpt.theta_for(self.inst.num_nodes(), s, tim) {
+                    st.capped = true;
+                }
+                return grew;
+            }
+            // Grow both streams to the next doubling step.
+            let target = opim::next_theta(st.theta, op.theta_cap);
+            let batch = target - st.theta;
+            let (sets, _) = st
+                .sampler
+                .sample_batch(g, batch, st.sample_seed, st.theta as u64);
+            st.cov.add_batch(&sets, &st.is_seed);
+            let val_seed = op.val_seed;
+            let (val_sets, _) = st.sampler.sample_batch(g, batch, val_seed, st.theta as u64);
+            let op = st.opim.as_mut().expect("opim state just observed");
+            op.val_cov.add_batch(&val_sets, &st.is_seed);
+            st.samples += 2 * batch as u64;
+            st.theta = target;
+            grew = true;
+        }
+    }
+
+    /// Per-stream doubling valve of the online mode: `max_sets_per_ad`
+    /// bounds the **total** RR sets an ad may hold, so each of the two
+    /// streams gets half.
+    fn online_stream_valve(&self, tim: &TimConfig) -> usize {
+        (tim.max_sets_per_ad / 2).max(1)
     }
 
     /// Builds (or rebuilds) an ad's candidate heap for the current sample.
@@ -503,10 +650,23 @@ impl<'a> TiEngine<'a> {
         let h = ads.len();
         let feasible = |j: usize, cand: &Candidate| -> Option<(f64, f64)> {
             let ad = &self.inst.ads[j];
-            let d_pi = ads[j].delta_pi(ad.cpe, n, cand.cov);
-            let d_rho = d_pi + self.inst.incentives[j].cost(cand.v);
-            let rho_now = ads[j].rho(ad.cpe, n);
-            (rho_now + d_rho <= ad.budget + BUDGET_EPS).then_some((d_pi, d_rho))
+            let st = &ads[j];
+            let d_pi = st.delta_pi(ad.cpe, n, cand.cov);
+            let cost = self.inst.incentives[j].cost(cand.v);
+            let d_rho = d_pi + cost;
+            // The budget test must charge exactly what a commit will
+            // charge. Under OnlineBounds π̂ reads the validation stream,
+            // so the candidate's increment there (its uncovered-set count
+            // on that stream) is the true post-commit charge; using the
+            // selection-stream marginal here could let sampling noise push
+            // ρ past the budget on commit. Ranking still uses the
+            // selection-stream `d_pi`/`d_rho`.
+            let d_pi_commit = match &st.opim {
+                Some(op) => st.delta_pi(ad.cpe, n, op.val_cov.coverage(cand.v)),
+                None => d_pi,
+            };
+            let rho_now = st.rho(ad.cpe, n);
+            (rho_now + d_pi_commit + cost <= ad.budget + BUDGET_EPS).then_some((d_pi, d_rho))
         };
         match self.kind {
             AlgorithmKind::PageRankRr => {
@@ -578,11 +738,17 @@ impl<'a> TiEngine<'a> {
             // is infeasible (ρ only grows between sample updates), so retire
             // the ad instead of re-evaluating a doomed candidate each round.
             let min_dpi = match self.kind {
-                AlgorithmKind::TiCarm | AlgorithmKind::TiCsrm => {
+                // Under OnlineBounds the commit charge is the candidate's
+                // *validation*-stream marginal, which can be zero even for
+                // a positive-coverage selection candidate — so only the
+                // incentive floor is certain.
+                AlgorithmKind::TiCarm | AlgorithmKind::TiCsrm
+                    if matches!(self.cfg.sampling, SamplingStrategy::FixedTheta) =>
+                {
                     ad.cpe * n as f64 / st.theta.max(1) as f64
                 }
                 // PageRank candidates may have zero coverage, hence zero Δπ.
-                AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => 0.0,
+                _ => 0.0,
             };
             // Same BUDGET_EPS slack as `choose_winner`'s feasibility test,
             // so a boundary candidate the selection rule would accept is
@@ -594,25 +760,46 @@ impl<'a> TiEngine<'a> {
             return;
         }
         st.s_latent = s_new;
-        let opt = st.kpt.opt_lower_bound(st.s_latent);
-        let theta_new = sample_size(n, st.s_latent, tim, opt).max(st.theta);
-        if theta_new >= tim.max_sets_per_ad {
-            st.capped = true;
-        }
-        if theta_new > st.theta {
-            let (sets, _) = st.sampler.sample_batch(
-                &self.inst.graph,
-                theta_new - st.theta,
-                st.sample_seed,
-                st.theta as u64,
-            );
-            st.cov.add_batch(&sets, &st.is_seed);
-            st.samples += (theta_new - st.theta) as u64;
-            st.theta = theta_new;
-            // Coverage counts grew: lazy-heap invariant (keys only decrease)
-            // is broken, rebuild from scratch.
-            st.heap = self.build_heap(&st.cov, st.idx, assigned);
-            stats.candidate_evaluations += n as u64;
+        match self.cfg.sampling {
+            SamplingStrategy::FixedTheta => {
+                // Worst-case schedule: jump straight to Eq. 8's θ for the
+                // new latent size.
+                let theta_new = st.kpt.theta_for(n, st.s_latent, tim).max(st.theta);
+                if theta_new >= tim.max_sets_per_ad {
+                    st.capped = true;
+                }
+                if theta_new > st.theta {
+                    let (sets, _) = st.sampler.sample_batch(
+                        &self.inst.graph,
+                        theta_new - st.theta,
+                        st.sample_seed,
+                        st.theta as u64,
+                    );
+                    st.cov.add_batch(&sets, &st.is_seed);
+                    st.samples += (theta_new - st.theta) as u64;
+                    st.theta = theta_new;
+                    // Coverage counts grew: lazy-heap invariant (keys only
+                    // decrease) is broken, rebuild from scratch.
+                    st.heap = self.build_heap(&st.cov, st.idx, assigned);
+                    stats.candidate_evaluations += n as u64;
+                }
+            }
+            SamplingStrategy::OnlineBounds => {
+                // Online schedule: raise the doubling cap to the new latent
+                // size's worst case (within the per-stream valve), then
+                // grow only until the stopping rule certifies — the bound
+                // check, not Eq. 8, decides θ.
+                let cap = st
+                    .kpt
+                    .theta_for(n, st.s_latent, tim)
+                    .min(self.online_stream_valve(tim));
+                let op = st.opim.as_mut().expect("OnlineBounds ads carry opim state");
+                op.theta_cap = op.theta_cap.max(cap);
+                if self.certify_or_double(st, tim, assigned) {
+                    st.heap = self.build_heap(&st.cov, st.idx, assigned);
+                    stats.candidate_evaluations += n as u64;
+                }
+            }
         }
     }
 }

@@ -13,6 +13,13 @@
 //! 3. whenever an ad's seed count reaches its latent size estimate, Eq. 10
 //!    revises the estimate, the sample grows to the new `L(s, ε)`, and
 //!    estimates are refreshed over the enlarged sample (Alg. 3, lines 17–22).
+//!
+//! Step 3's sample sizing is pluggable ([`SamplingStrategy`]): the paper's
+//! fixed-θ Eq. 8 schedule, or an OPIM-style online stopping rule
+//! (`rm_rrsets::opim`) that doubles two independent RR streams only until a
+//! martingale bound check certifies `(1 − 1/e − ε)` for the current latent
+//! size — typically drawing far fewer sets for the same guarantee (see
+//! DESIGN.md → "Online stopping-rule sampling").
 
 mod ad_state;
 mod config;
@@ -21,5 +28,5 @@ mod engine;
 #[cfg(test)]
 mod tests;
 
-pub use config::{AlgorithmKind, ScalableConfig, Window};
+pub use config::{AlgorithmKind, SamplingStrategy, ScalableConfig, Window};
 pub use engine::TiEngine;

@@ -12,7 +12,7 @@ use crate::allocation::{evaluate_allocation, EvalMethod};
 use crate::incentives::{IncentiveModel, SingletonMethod};
 use crate::instance::RmInstance;
 
-use super::{AlgorithmKind, ScalableConfig, TiEngine, Window};
+use super::{AlgorithmKind, SamplingStrategy, ScalableConfig, TiEngine, Window};
 
 /// Mid-size Weighted-Cascade instance: BA graph, `h` ads in pure
 /// competition, linear incentives.
@@ -331,6 +331,111 @@ fn lt_and_ic_instances_differ_in_allocations_or_revenue() {
         ica != lta || (ics.total_revenue() - lts.total_revenue()).abs() > 1e-9,
         "IC and LT runs are byte-identical — model dispatch is broken"
     );
+}
+
+fn online_cfg(seed: u64) -> ScalableConfig {
+    ScalableConfig {
+        sampling: SamplingStrategy::OnlineBounds,
+        ..test_cfg(seed)
+    }
+}
+
+#[test]
+fn online_bounds_feasible_and_cheaper_for_both_algorithms() {
+    let inst = wc_instance(400, 3, 60.0, 0.2, 42);
+    for kind in [AlgorithmKind::TiCsrm, AlgorithmKind::TiCarm] {
+        let (f_alloc, f_stats) = TiEngine::new(&inst, kind, test_cfg(7)).run();
+        let (o_alloc, o_stats) = TiEngine::new(&inst, kind, online_cfg(7)).run();
+        assert!(o_alloc.num_seeds() > 0, "{}: no seeds", kind.name());
+        assert_feasible(&inst, &o_alloc, &o_stats);
+        assert!(
+            o_stats.rr_sets_sampled < f_stats.rr_sets_sampled,
+            "{}: online drew {} sets vs fixed {}",
+            kind.name(),
+            o_stats.rr_sets_sampled,
+            f_stats.rr_sets_sampled,
+        );
+        assert!(o_stats.bound_checks > 0, "stopping rule never evaluated");
+        assert_eq!(f_stats.bound_checks, 0, "fixed-θ must not run the rule");
+        // Sanity on the default path: fixed-θ unchanged by the feature.
+        assert!(f_alloc.num_seeds() > 0);
+    }
+}
+
+#[test]
+fn online_bounds_deterministic_in_seed() {
+    let inst = wc_instance(300, 2, 40.0, 0.2, 9);
+    let (a1, s1) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, online_cfg(5)).run();
+    let (a2, s2) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, online_cfg(5)).run();
+    assert_eq!(a1, a2, "same seed must reproduce the OnlineBounds run");
+    assert_eq!(s1.rr_sets_sampled, s2.rr_sets_sampled);
+    assert_eq!(s1.bound_checks, s2.bound_checks);
+}
+
+#[test]
+fn online_bounds_thread_count_invariant() {
+    // Seed sets must be bit-identical across sampler worker counts: the
+    // doubling batches and both RR streams are stream-seeded, so capping
+    // the engine at one sampler thread cannot change anything but timing.
+    let inst = wc_instance(400, 3, 60.0, 0.2, 21);
+    for sampling in [SamplingStrategy::OnlineBounds, SamplingStrategy::FixedTheta] {
+        let wide = ScalableConfig {
+            sampling,
+            ..test_cfg(13)
+        };
+        let single = ScalableConfig {
+            sampler_threads: 1,
+            ..wide
+        };
+        let (a_wide, s_wide) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, wide).run();
+        let (a_single, s_single) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, single).run();
+        assert_eq!(
+            a_wide, a_single,
+            "{:?}: seed sets differ across sampler thread counts",
+            sampling
+        );
+        assert_eq!(s_wide.rr_sets_sampled, s_single.rr_sets_sampled);
+        assert_eq!(s_wide.theta_per_ad, s_single.theta_per_ad);
+    }
+}
+
+#[test]
+fn online_bounds_respects_total_sets_valve() {
+    // max_sets_per_ad bounds the TOTAL sets an ad may draw; with two
+    // streams each gets half, so a never-certifying run (the valve is far
+    // below the pilot floor here) stops at the valve and reports capping.
+    let inst = wc_instance(300, 1, 50.0, 0.2, 14);
+    let cfg = ScalableConfig {
+        max_sets_per_ad: 500,
+        ..online_cfg(3)
+    };
+    let (_, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+    assert!(
+        stats.rr_sets_sampled <= 500,
+        "online mode drew {} sets past the per-ad valve",
+        stats.rr_sets_sampled
+    );
+    assert!(stats.theta_per_ad.iter().all(|&t| t <= 250));
+    assert!(stats.sample_capped, "valve-clamped run must report capping");
+}
+
+#[test]
+fn online_bounds_runs_under_linear_threshold() {
+    // The stopping rule must work through the model-generic dispatch: an
+    // LT instance run end-to-end under OnlineBounds, feasible and cheaper.
+    let inst = lt_instance(400, 3, 60.0, 0.2, 43);
+    let (f_alloc, f_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, test_cfg(7)).run();
+    let (o_alloc, o_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, online_cfg(7)).run();
+    assert!(o_alloc.num_seeds() > 0, "no seeds under LT OnlineBounds");
+    assert_feasible(&inst, &o_alloc, &o_stats);
+    assert!(o_stats.bound_checks > 0);
+    assert!(
+        o_stats.rr_sets_sampled < f_stats.rr_sets_sampled,
+        "LT online drew {} sets vs fixed {}",
+        o_stats.rr_sets_sampled,
+        f_stats.rr_sets_sampled,
+    );
+    assert!(f_alloc.num_seeds() > 0);
 }
 
 #[test]

@@ -125,8 +125,11 @@ impl DiffusionModel {
     /// Runs one forward cascade from `seeds`, returning the number of
     /// activated nodes (seeds included).
     ///
-    /// # Panics
-    /// Panics if `ws` was built for the other model family.
+    /// Infallible by contract: a workspace built for the other model family
+    /// is transparently re-initialized to the matching one (see
+    /// [`ModelWorkspace`]), so no input combination can panic. Callers that
+    /// alternate models over one workspace pay a reallocation per switch —
+    /// keep one workspace per model in hot loops.
     pub fn simulate<R: Rng + ?Sized>(
         &self,
         g: &CsrGraph,
@@ -134,18 +137,18 @@ impl DiffusionModel {
         ws: &mut ModelWorkspace,
         rng: &mut R,
     ) -> usize {
-        match (self, ws) {
-            (DiffusionModel::IndependentCascade(p), ModelWorkspace::Ic(ws)) => {
-                simulate_cascade(g, p, seeds, ws, rng)
+        match self {
+            DiffusionModel::IndependentCascade(p) => {
+                simulate_cascade(g, p, seeds, ws.ic_mut(g.num_nodes()), rng)
             }
-            (DiffusionModel::LinearThreshold(w), ModelWorkspace::Lt(ws)) => {
-                simulate_lt_cascade(g, w, seeds, ws, rng)
+            DiffusionModel::LinearThreshold(w) => {
+                simulate_lt_cascade(g, w, seeds, ws.lt_mut(g.num_nodes()), rng)
             }
-            _ => panic!("workspace model family does not match the diffusion model"),
         }
     }
 
-    /// Like [`Self::simulate`] but returns the activated node set.
+    /// Like [`Self::simulate`] but returns the activated node set. Shares
+    /// [`Self::simulate`]'s infallible workspace contract.
     pub fn simulate_nodes<R: Rng + ?Sized>(
         &self,
         g: &CsrGraph,
@@ -153,14 +156,13 @@ impl DiffusionModel {
         ws: &mut ModelWorkspace,
         rng: &mut R,
     ) -> Vec<NodeId> {
-        match (self, ws) {
-            (DiffusionModel::IndependentCascade(p), ModelWorkspace::Ic(ws)) => {
-                simulate_cascade_nodes(g, p, seeds, ws, rng)
+        match self {
+            DiffusionModel::IndependentCascade(p) => {
+                simulate_cascade_nodes(g, p, seeds, ws.ic_mut(g.num_nodes()), rng)
             }
-            (DiffusionModel::LinearThreshold(w), ModelWorkspace::Lt(ws)) => {
-                simulate_lt_cascade_nodes(g, w, seeds, ws, rng)
+            DiffusionModel::LinearThreshold(w) => {
+                simulate_lt_cascade_nodes(g, w, seeds, ws.lt_mut(g.num_nodes()), rng)
             }
-            _ => panic!("workspace model family does not match the diffusion model"),
         }
     }
 
@@ -189,12 +191,43 @@ impl DiffusionModel {
 
 /// Forward-simulation scratch matching one model family; obtain via
 /// [`DiffusionModel::workspace`].
+///
+/// Simulation entry points self-heal a family mismatch: handing an LT
+/// workspace to an IC simulation (or vice versa) re-initializes it in place
+/// instead of panicking, so [`DiffusionModel::simulate`] /
+/// [`DiffusionModel::simulate_nodes`] are infallible for every input. The
+/// swap reallocates the scratch, so it is a performance consideration, not
+/// a correctness one.
 #[derive(Clone, Debug)]
 pub enum ModelWorkspace {
     /// Independent-Cascade scratch.
     Ic(CascadeWorkspace),
     /// Linear-Threshold scratch.
     Lt(LtWorkspace),
+}
+
+impl ModelWorkspace {
+    /// The IC scratch, re-initializing in place on a family mismatch.
+    fn ic_mut(&mut self, n: usize) -> &mut CascadeWorkspace {
+        if !matches!(self, ModelWorkspace::Ic(_)) {
+            *self = ModelWorkspace::Ic(CascadeWorkspace::new(n));
+        }
+        let ModelWorkspace::Ic(ws) = self else {
+            unreachable!("just normalized to the IC variant")
+        };
+        ws
+    }
+
+    /// The LT scratch, re-initializing in place on a family mismatch.
+    fn lt_mut(&mut self, n: usize) -> &mut LtWorkspace {
+        if !matches!(self, ModelWorkspace::Lt(_)) {
+            *self = ModelWorkspace::Lt(LtWorkspace::new(n));
+        }
+        let ModelWorkspace::Lt(ws) = self else {
+            unreachable!("just normalized to the LT variant")
+        };
+        ws
+    }
 }
 
 #[cfg(test)]
@@ -254,13 +287,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "workspace model family")]
-    fn mismatched_workspace_panics() {
+    fn mismatched_workspace_self_heals() {
+        // Regression: model-family mismatch used to panic mid-simulation.
+        // The contract is now infallible — a mismatched workspace is
+        // re-initialized in place and the simulation proceeds, returning
+        // exactly what a correctly built workspace returns.
         let g = chain();
         let ic = DiffusionModel::ic(AdProbs::from_vec(vec![1.0; 3]));
         let lt = DiffusionModel::lt(&g, AdProbs::from_vec(vec![1.0; 3]));
-        let mut ws = lt.workspace(4);
-        let mut rng = SmallRng::seed_from_u64(4);
-        ic.simulate(&g, &[0], &mut ws, &mut rng);
+        let mut wrong = lt.workspace(4);
+        let mut right = ic.workspace(4);
+        let mut rng_a = SmallRng::seed_from_u64(4);
+        let mut rng_b = SmallRng::seed_from_u64(4);
+        assert_eq!(
+            ic.simulate(&g, &[0], &mut wrong, &mut rng_a),
+            ic.simulate(&g, &[0], &mut right, &mut rng_b),
+        );
+        // The workspace was swapped to the IC family in place…
+        assert!(matches!(wrong, ModelWorkspace::Ic(_)));
+        // …and the other direction heals too, node sets included.
+        let mut nodes = lt.simulate_nodes(&g, &[2], &mut wrong, &mut rng_a);
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![2, 3]);
+        assert!(matches!(wrong, ModelWorkspace::Lt(_)));
     }
 }

@@ -325,31 +325,102 @@ impl RrCoverage {
             + self.covered.capacity()
     }
 
-    /// Plain greedy max-coverage of size `k` (test oracle / IM baseline).
-    /// Does not mutate the index.
-    pub fn greedy_max_coverage(&self, k: usize) -> Vec<NodeId> {
-        let mut scratch = self.clone();
-        let mut picked = Vec::with_capacity(k);
-        for _ in 0..k {
-            let mut best = None;
-            let mut best_cov = 0u32;
-            for v in 0..scratch.n as NodeId {
-                let c = scratch.coverage(v);
-                if c > best_cov {
-                    best_cov = c;
-                    best = Some(v);
-                }
-            }
-            match best {
-                Some(v) => {
-                    scratch.cover_with(v);
-                    picked.push(v);
-                }
-                None => break,
-            }
+    /// Sum of the `k` largest current coverage counts over nodes not
+    /// excluded by `skip`. By submodularity this bounds the coverage any
+    /// size-`k` set can add on top of the committed seeds:
+    /// `Λ(T ∪ S) ≤ Λ(S) + Σ_{v∈T} Λ(v | S) ≤ Λ(S) + top_k_sum` — the
+    /// `OPT` side of the online stopping rule (`opim`).
+    pub fn top_k_sum(&self, k: usize, skip: impl Fn(NodeId) -> bool) -> u64 {
+        if k == 0 {
+            return 0;
         }
-        picked
+        let mut tops: Vec<u32> = (0..self.n as NodeId)
+            .filter(|&v| !skip(v))
+            .map(|v| self.cov[v as usize])
+            .filter(|&c| c > 0)
+            .collect();
+        if tops.len() > k {
+            tops.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+            tops.truncate(k);
+        }
+        tops.into_iter().map(u64::from).sum()
     }
+
+    /// Greedy `k`-extension oracle for the online stopping rule: greedily
+    /// covers `k` further nodes on a scratch clone (`self` is untouched) and
+    /// reports the extension picks, the total covered count afterwards, and
+    /// the post-extension [`Self::top_k_sum`] over `residual_k` nodes (the
+    /// tight submodularity bound on what any further `residual_k` picks
+    /// could still add).
+    pub fn greedy_extension(
+        &self,
+        k: usize,
+        residual_k: usize,
+        skip: impl Fn(NodeId) -> bool,
+    ) -> GreedyExtension {
+        let mut scratch = self.clone();
+        let mut picks = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut best: Option<(NodeId, u32)> = None;
+            for v in 0..scratch.n as NodeId {
+                if skip(v) {
+                    continue;
+                }
+                let c = scratch.coverage(v);
+                if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                    best = Some((v, c));
+                }
+            }
+            let Some((v, _)) = best else { break };
+            scratch.cover_with(v);
+            picks.push(v);
+        }
+        let covered = scratch.covered_total();
+        let residual_top = scratch.top_k_sum(residual_k, skip);
+        GreedyExtension {
+            picks,
+            covered,
+            residual_top,
+        }
+    }
+
+    /// Covered counts after committing `base` and then `ext` on a scratch
+    /// clone (`self` is untouched): returns
+    /// `(covered(base ∪ ext), covered(base ∪ ext) − covered(base))` — the
+    /// achieved total and the extension's share, the two validation-stream
+    /// counts of the online stopping rule.
+    pub fn coverage_split(&self, base: &[NodeId], ext: &[NodeId]) -> (usize, usize) {
+        let mut scratch = self.clone();
+        for &v in base {
+            scratch.cover_with(v);
+        }
+        let base_covered = scratch.covered_total();
+        for &v in ext {
+            scratch.cover_with(v);
+        }
+        let total = scratch.covered_total();
+        (total, total - base_covered)
+    }
+
+    /// Plain greedy max-coverage of size `k` (test oracle / IM baseline).
+    /// Does not mutate the index. One greedy loop serves both this oracle
+    /// and the stopping rule's extension ([`Self::greedy_extension`]), so
+    /// their tie-breaking cannot diverge.
+    pub fn greedy_max_coverage(&self, k: usize) -> Vec<NodeId> {
+        self.greedy_extension(k, 0, |_| false).picks
+    }
+}
+
+/// Result of [`RrCoverage::greedy_extension`].
+#[derive(Clone, Debug)]
+pub struct GreedyExtension {
+    /// Nodes picked greedily, in pick order (may be shorter than `k` when
+    /// coverage runs out).
+    pub picks: Vec<NodeId>,
+    /// Total covered sets after the extension (committed + extension).
+    pub covered: usize,
+    /// Post-extension top-`residual_k` marginal coverage sum.
+    pub residual_top: u64,
 }
 
 /// CELF-style lazy-greedy max-heap over `(key, node)` pairs.
@@ -556,6 +627,50 @@ mod tests {
         );
         assert_eq!(idx.covered_total(), 400);
         assert_eq!(idx.coverage(1), 1);
+    }
+
+    #[test]
+    fn top_k_sum_takes_the_largest_counts() {
+        let idx = build(5, &[&[0, 1], &[0, 2], &[0, 3], &[4]]);
+        // cov = [3, 1, 1, 1, 1].
+        assert_eq!(idx.top_k_sum(1, |_| false), 3);
+        assert_eq!(idx.top_k_sum(2, |_| false), 4);
+        assert_eq!(idx.top_k_sum(10, |_| false), 7);
+        assert_eq!(idx.top_k_sum(0, |_| false), 0);
+        // Skipping the hub removes its count from the top.
+        assert_eq!(idx.top_k_sum(1, |v| v == 0), 1);
+    }
+
+    #[test]
+    fn greedy_extension_reports_gain_and_residual() {
+        let idx = build(5, &[&[0, 1], &[0, 2], &[0, 3], &[4]]);
+        let ext = idx.greedy_extension(1, 2, |_| false);
+        assert_eq!(ext.picks, vec![0]);
+        assert_eq!(ext.covered, 3);
+        // After covering the hub only set {4} remains: residual top-2 = 1.
+        assert_eq!(ext.residual_top, 1);
+        // The original index is untouched.
+        assert_eq!(idx.covered_total(), 0);
+        assert_eq!(idx.coverage(0), 3);
+        // Extending by everything covers everything, residual 0.
+        let all = idx.greedy_extension(5, 5, |_| false);
+        assert_eq!(all.covered, 4);
+        assert_eq!(all.residual_top, 0);
+    }
+
+    #[test]
+    fn coverage_split_matches_sequential_covers() {
+        let mut idx = build(5, &[&[0, 1], &[0, 2], &[1, 3], &[4]]);
+        idx.cover_with(4);
+        let (total, gain) = idx.coverage_split(&[0], &[3]);
+        // Untouched by the scratch computation.
+        assert_eq!(idx.covered_total(), 1);
+        idx.cover_with(0);
+        let after_base = idx.covered_total();
+        idx.cover_with(3);
+        assert_eq!(total, idx.covered_total());
+        assert_eq!(total, 4);
+        assert_eq!(gain, idx.covered_total() - after_base);
     }
 
     #[test]

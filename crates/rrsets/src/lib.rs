@@ -23,6 +23,10 @@
 //!   KPT* estimation of the `OPT_s` lower bound, with cached RR-set widths so
 //!   the bound can be re-evaluated for a growing seed-set size `s` without
 //!   resampling (see DESIGN.md → Engineering notes).
+//! * [`opim`]: **online stopping rule** — OPIM-C-style martingale bounds
+//!   over two independent RR streams, doubling the sample only until the
+//!   achieved-coverage lower bound clears `(1 − 1/e − ε)` times the OPT
+//!   upper bound, with the Eq. 8 worst case of [`tim`] as the doubling cap.
 //! * [`estimator`]: stand-alone unbiased spread estimators over fresh
 //!   samples, used for incentive pricing (singleton spreads of *all* nodes
 //!   from one sample) and for algorithm-independent evaluation of final
@@ -32,6 +36,7 @@ pub mod arena;
 pub mod estimator;
 pub mod im;
 pub mod index;
+pub mod opim;
 pub mod sampler;
 pub mod tim;
 
@@ -40,7 +45,8 @@ pub use estimator::{
     rr_estimate_spread, rr_estimate_spread_model, rr_singleton_spreads, rr_singleton_spreads_model,
 };
 pub use im::{tim_influence_maximization, ImResult};
-pub use index::{LazyGreedyHeap, RrCoverage};
+pub use index::{GreedyExtension, LazyGreedyHeap, RrCoverage};
+pub use opim::{BoundCheck, StoppingRule};
 pub use sampler::{
     sample_rr_batch, sample_rr_batch_model, sample_rr_set, stream_seed, PreparedSampler,
     RrWorkspace,

@@ -175,6 +175,15 @@ impl KptEstimator {
     pub fn calibration(&self) -> (usize, f64) {
         (self.calibration_k, self.kpt_at_calibration)
     }
+
+    /// Eq. 8's worst-case sample size `L(s, ε)` for seed-set size `s`,
+    /// using this pilot's `OPT_s` lower bound. The single θ authority shared
+    /// by the fixed-θ schedule (which samples this many sets up front) and
+    /// the online stopping rule (which uses it as the doubling cap —
+    /// `rm_rrsets::opim`); both strategies therefore share one KPT pilot.
+    pub fn theta_for(&self, n: usize, s: usize, cfg: &TimConfig) -> usize {
+        sample_size(n, s, cfg, self.opt_lower_bound(s))
+    }
 }
 
 #[inline]

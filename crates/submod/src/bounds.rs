@@ -1,4 +1,6 @@
-//! Instance-dependent approximation bounds: Theorems 2, 3 and 4.
+//! Instance-dependent approximation bounds: Theorems 2, 3 and 4 — plus the
+//! martingale concentration inequalities behind the online (OPIM-style)
+//! stopping rule of `rm_rrsets::opim`.
 
 /// Theorem 2 (CA-GREEDY):
 /// `(1/κ_π) · [1 − ((R − κ_π)/R)^r]`, where `κ_π` is the total curvature of
@@ -56,6 +58,47 @@ pub fn theorem4_deterioration(cpes: &[f64], epsilon: f64, opt_si: &[f64]) -> f64
         .sum()
 }
 
+/// Martingale **lower** bound on the mean of a sum of `[0, 1]` increments.
+///
+/// Let `Λ` be the observed coverage count of a fixed seed set over `θ`
+/// independent RR sets (a sum of i.i.d. Bernoulli variables — or, with an
+/// adaptively chosen `θ`, a stopped martingale with `[0, 1]` increments).
+/// With probability at least `1 − e^{−a}`,
+///
+/// ```text
+/// E[Λ]  ≥  ( √(Λ + 2a/9) − √(a/2) )² − a/18
+/// ```
+///
+/// (Tang et al., SIGMOD 2018, Lemma 4.2 — the bound OPIM-C uses to certify
+/// the achieved coverage from its validation stream.) The result is clamped
+/// to `[0, Λ]`: the bound equals `Λ` at `a = 0` and degrades toward 0 as the
+/// confidence requirement grows, reaching exactly 0 at `Λ = 0` for every
+/// `a`.
+pub fn martingale_coverage_lower(lambda: f64, a: f64) -> f64 {
+    assert!(lambda >= 0.0, "coverage count must be non-negative");
+    assert!(a >= 0.0, "confidence exponent must be non-negative");
+    let root = (lambda + 2.0 * a / 9.0).sqrt() - (a / 2.0).sqrt();
+    (root * root - a / 18.0).clamp(0.0, lambda)
+}
+
+/// Martingale **upper** bound companion of [`martingale_coverage_lower`]:
+/// with probability at least `1 − e^{−a}`,
+///
+/// ```text
+/// E[Λ]  ≤  ( √(Λ + a/2) + √(a/2) )²
+/// ```
+///
+/// Applied to `Λ` = an *observed upper bound* on the optimum's coverage
+/// count (e.g. a submodularity top-`k` bound), this upper-bounds the
+/// optimum's expected coverage — the `OPT` side of the stopping rule. The
+/// result is always at least `Λ`.
+pub fn martingale_coverage_upper(lambda: f64, a: f64) -> f64 {
+    assert!(lambda >= 0.0, "coverage count must be non-negative");
+    assert!(a >= 0.0, "confidence exponent must be non-negative");
+    let root = (lambda + a / 2.0).sqrt() + (a / 2.0).sqrt();
+    (root * root).max(lambda)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +141,52 @@ mod tests {
     fn theorem4_sums_per_ad_slack() {
         let slack = theorem4_deterioration(&[1.0, 2.0], 0.1, &[100.0, 50.0]);
         assert!((slack - (0.1 * 100.0 + 2.0 * 0.1 * 50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn martingale_bounds_bracket_the_observation() {
+        for &(lambda, a) in &[(0.0, 3.0), (10.0, 1.0), (500.0, 9.2), (1e6, 20.0)] {
+            let lo = martingale_coverage_lower(lambda, a);
+            let hi = martingale_coverage_upper(lambda, a);
+            assert!(lo <= lambda && lambda <= hi, "λ={lambda} a={a}: {lo} {hi}");
+        }
+        // a = 0 (no confidence requirement) collapses both bounds onto λ.
+        assert_eq!(martingale_coverage_lower(42.0, 0.0), 42.0);
+        assert_eq!(martingale_coverage_upper(42.0, 0.0), 42.0);
+        // λ = 0 keeps the lower bound at exactly 0 for any a.
+        assert_eq!(martingale_coverage_lower(0.0, 7.0), 0.0);
+    }
+
+    proptest! {
+        /// lower ≤ point estimate ≤ upper on arbitrary (λ, a).
+        #[test]
+        fn martingale_bounds_ordered(lambda in 0.0f64..1e6, a in 0.0f64..50.0) {
+            let lo = martingale_coverage_lower(lambda, a);
+            let hi = martingale_coverage_upper(lambda, a);
+            prop_assert!(lo >= 0.0);
+            prop_assert!(lo <= lambda + 1e-9, "lower {lo} above λ {lambda}");
+            prop_assert!(hi + 1e-9 >= lambda, "upper {hi} below λ {lambda}");
+        }
+
+        /// Doubling the sample (coverage count scales with θ at a fixed
+        /// coverage fraction) tightens both *relative* bounds monotonically.
+        #[test]
+        fn martingale_bounds_tighten_as_samples_double(
+            frac in 0.01f64..1.0,
+            theta in 16usize..20_000,
+            a in 0.1f64..30.0,
+        ) {
+            let l1 = frac * theta as f64;
+            let l2 = frac * (2 * theta) as f64;
+            let rel_lo_1 = martingale_coverage_lower(l1, a) / l1;
+            let rel_lo_2 = martingale_coverage_lower(l2, a) / l2;
+            let rel_hi_1 = martingale_coverage_upper(l1, a) / l1;
+            let rel_hi_2 = martingale_coverage_upper(l2, a) / l2;
+            prop_assert!(rel_lo_2 + 1e-12 >= rel_lo_1,
+                "relative lower loosened: {rel_lo_1} -> {rel_lo_2}");
+            prop_assert!(rel_hi_2 <= rel_hi_1 + 1e-12,
+                "relative upper loosened: {rel_hi_1} -> {rel_hi_2}");
+        }
     }
 
     proptest! {

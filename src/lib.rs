@@ -67,8 +67,8 @@ pub use rm_submod as submod;
 pub mod prelude {
     pub use rm_core::{
         evaluate_allocation, Advertiser, AlgorithmKind, EvalMethod, EvalReport, IncentiveModel,
-        IncentiveSchedule, RmInstance, RunStats, ScalableConfig, SeedAllocation, SingletonMethod,
-        TiEngine, Window,
+        IncentiveSchedule, RmInstance, RunStats, SamplingStrategy, ScalableConfig, SeedAllocation,
+        SingletonMethod, TiEngine, Window,
     };
     pub use rm_diffusion::{DiffusionKind, DiffusionModel, TicModel, TopicDistribution};
     pub use rm_graph::{CsrGraph, NodeId, SyntheticDataset};
