@@ -1,31 +1,58 @@
-//! Reproducibility probe: engine-level RR memory on a small Table-3-style run
-//! (feeds BENCH_rrsets.json; API-stable across the arena refactor for A/B runs).
+//! Reproducibility probe: engine-level RR memory and wall time on a small
+//! Table-3-style run (feeds BENCH_rrsets.json; API-stable across the arena
+//! and selection-round refactors for A/B runs). Knobs via env: `SCALE`
+//! (default 0.03), `H` (advertisers, default 5), `BUDGET` (per-ad, default
+//! 10000, scaled like the fig5 sweep), `SELECTION_THREADS` (default
+//! hardware).
 
-use rm_core::{AlgorithmKind, TiEngine};
+use rm_core::{AlgorithmKind, ScalableConfig, TiEngine};
 use rm_graph::SyntheticDataset;
 
+/// Parses `key` or falls back to `default` when unset. A set-but-malformed
+/// value aborts: this probe's numbers are recorded as A/B evidence, and a
+/// silently ignored knob would record wrong figures.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    match std::env::var(key) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("env {key}={v:?} does not parse")),
+        Err(_) => default,
+    }
+}
+
 fn main() {
-    let scale: f64 = std::env::var("SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.03);
+    let scale: f64 = env_or("SCALE", 0.03);
+    let h: usize = env_or("H", 5);
+    // 0 = hardware parallelism, matching the experiments CLI's
+    // `--selection-threads 0` convention.
+    let selection_threads: usize = match env_or("SELECTION_THREADS", usize::MAX) {
+        0 => usize::MAX,
+        t => t,
+    };
+    let budget: f64 = env_or("BUDGET", 10_000.0);
     let inst = rm_bench::setup::scalability_instance(
         SyntheticDataset::DblpLike,
-        5,
-        10_000.0 * scale,
+        h,
+        budget * scale,
         scale,
         20_170_419,
     );
-    let cfg = rm_bench::setup::scalability_config(20_170_419);
+    let cfg = ScalableConfig {
+        selection_threads,
+        ..rm_bench::setup::scalability_config(20_170_419)
+    };
     let t0 = std::time::Instant::now();
     let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
     println!(
-        "scale={scale} n={} rr_memory_bytes={} theta_total={} seeds={} sampled={} t={:?}",
+        "scale={scale} h={h} n={} rr_memory_bytes={} theta_total={} seeds={} sampled={} rounds={} refreshes={} contended={} t={:?}",
         inst.num_nodes(),
         stats.rr_memory_bytes,
         stats.total_theta(),
         alloc.num_seeds(),
         stats.rr_sets_sampled,
+        stats.rounds,
+        stats.candidate_refreshes,
+        stats.contended_rounds,
         t0.elapsed(),
     );
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <id> [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]
+//!             [--selection-threads n]
 //!
 //! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality
 //!      ablation-lazy ablation-term ablation-singleton ablation-opim
@@ -37,6 +38,15 @@ fn main() {
             "--quick" => opts.quick = true,
             "--paper-eps" => opts.paper_eps = true,
             "--paper-scale" => opts.scale = 1.0,
+            "--selection-threads" => {
+                let v = it.next().expect("--selection-threads needs a value");
+                opts.selection_threads = v
+                    .parse()
+                    .expect("--selection-threads must be an integer (0 = hardware)");
+                if opts.selection_threads == 0 {
+                    opts.selection_threads = usize::MAX;
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -49,8 +59,16 @@ fn main() {
         std::process::exit(2);
     }
     println!(
-        "# experiments: {ids:?}  scale={} seed={} quick={} paper_eps={}",
-        opts.scale, opts.seed, opts.quick, opts.paper_eps
+        "# experiments: {ids:?}  scale={} seed={} quick={} paper_eps={} selection_threads={}",
+        opts.scale,
+        opts.seed,
+        opts.quick,
+        opts.paper_eps,
+        if opts.selection_threads == usize::MAX {
+            "hw".to_string()
+        } else {
+            opts.selection_threads.to_string()
+        }
     );
     for id in ids {
         run(&id, opts);
@@ -101,6 +119,7 @@ fn run(id: &str, opts: Opts) {
 fn usage() {
     eprintln!(
         "usage: experiments <id>... [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]\n\
+              [--selection-threads n]\n\
          ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality\n\
               ablation-lazy ablation-term ablation-singleton ablation-opim\n\
               quality scalability all"

@@ -26,6 +26,10 @@ pub struct Opts {
     pub quick: bool,
     /// Use the paper's ε = 0.1 for quality experiments (default 0.3).
     pub paper_eps: bool,
+    /// Worker threads for the engine's per-round selection fan-out
+    /// (`ScalableConfig::selection_threads`); `usize::MAX` = hardware
+    /// parallelism. Results are bit-identical for every value.
+    pub selection_threads: usize,
 }
 
 impl Default for Opts {
@@ -35,6 +39,17 @@ impl Default for Opts {
             seed: 20_170_419,
             quick: false,
             paper_eps: false,
+            selection_threads: usize::MAX,
+        }
+    }
+}
+
+impl Opts {
+    /// Applies the harness-level engine knobs on top of a base config.
+    fn engine_cfg(&self, base: ScalableConfig) -> ScalableConfig {
+        ScalableConfig {
+            selection_threads: self.selection_threads,
+            ..base
         }
     }
 }
@@ -235,7 +250,7 @@ fn quality_sweep(
                     theta: eval_theta(&inst),
                 };
                 for &kind in algos {
-                    let cfg = quality_config(opts.seed, opts.paper_eps);
+                    let cfg = opts.engine_cfg(quality_config(opts.seed, opts.paper_eps));
                     let (alloc, stats) = TiEngine::new(&inst, kind, cfg).run();
                     let report = evaluate_allocation(&inst, &alloc, eval, opts.seed ^ eval_salt);
                     let base = vec![
@@ -305,7 +320,7 @@ pub fn fig4(opts: Opts) {
                 theta: eval_theta(&inst),
             };
             for w in &windows {
-                let mut cfg = quality_config(opts.seed, opts.paper_eps);
+                let mut cfg = opts.engine_cfg(quality_config(opts.seed, opts.paper_eps));
                 cfg.window = match w {
                     Some(s) => Window::Size(*s),
                     None => Window::Full,
@@ -383,7 +398,8 @@ pub fn fig5_table3(opts: Opts) {
             let inst = scalability_instance(ds, h, fixed_budget * bscale, s, opts.seed);
             for kind in [AlgorithmKind::TiCsrm, AlgorithmKind::TiCarm] {
                 let (alloc, stats) =
-                    TiEngine::new(&inst, kind, scalability_config(opts.seed)).run();
+                    TiEngine::new(&inst, kind, opts.engine_cfg(scalability_config(opts.seed)))
+                        .run();
                 time_h.push(vec![
                     ds.to_string(),
                     h.to_string(),
@@ -412,7 +428,8 @@ pub fn fig5_table3(opts: Opts) {
             let inst = scalability_instance(ds, 5, budget * bscale, s, opts.seed);
             for kind in [AlgorithmKind::TiCsrm, AlgorithmKind::TiCarm] {
                 let (alloc, stats) =
-                    TiEngine::new(&inst, kind, scalability_config(opts.seed)).run();
+                    TiEngine::new(&inst, kind, opts.engine_cfg(scalability_config(opts.seed)))
+                        .run();
                 time_b.push(vec![
                     ds.to_string(),
                     fmt(budget * bscale),
@@ -453,7 +470,7 @@ pub fn ablation_lazy(opts: Opts) {
     for lazy in [true, false] {
         let cfg = ScalableConfig {
             lazy,
-            ..quality_config(opts.seed, opts.paper_eps)
+            ..opts.engine_cfg(quality_config(opts.seed, opts.paper_eps))
         };
         let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
         t.push(vec![
@@ -492,7 +509,7 @@ pub fn ablation_termination(opts: Opts) {
         for strict in [true, false] {
             let cfg = ScalableConfig {
                 strict_termination: strict,
-                ..quality_config(opts.seed, opts.paper_eps)
+                ..opts.engine_cfg(quality_config(opts.seed, opts.paper_eps))
             };
             let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
             let report = evaluate_allocation(&inst, &alloc, eval, 1);
@@ -546,7 +563,7 @@ pub fn ablation_opim(opts: Opts) {
     {
         let cfg = ScalableConfig {
             sampling: strategy,
-            ..scalability_config(opts.seed)
+            ..opts.engine_cfg(scalability_config(opts.seed))
         };
         let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
         let report = evaluate_allocation(&inst, &alloc, eval, opts.seed ^ 0x0B);
@@ -623,7 +640,7 @@ pub fn ablation_singleton(opts: Opts) {
             opts.seed,
         );
         let pricing = t0.elapsed().as_secs_f64();
-        let cfg = quality_config(opts.seed, opts.paper_eps);
+        let cfg = opts.engine_cfg(quality_config(opts.seed, opts.paper_eps));
         let (alloc, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
         let eval = EvalMethod::RrSets {
             theta: eval_theta(&inst),

@@ -12,6 +12,10 @@
 
 use rm_bench::experiments::{self, Opts};
 
+/// Serializes the tests that write the shared `fig5`/`table3` artifact
+/// files, so the parallel test runner cannot interleave their sweeps.
+static FIG5_ARTIFACTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// The harness's default invocation with `--quick`.
 fn quick_opts() -> Opts {
     Opts {
@@ -95,6 +99,7 @@ fn strip_columns(csv: &str, drop: &[&str]) -> String {
     ignore = "runs the full quick scalability sweep twice; exercised in the release statistical CI job"
 )]
 fn fig5_table3_quick_match_pinned_goldens_modulo_volatile_columns() {
+    let _artifacts = FIG5_ARTIFACTS.lock().unwrap_or_else(|e| e.into_inner());
     // A tiny but engine-exercising scale: 8 TiEngine runs across two
     // datasets, two algorithms, h and budget grids.
     let opts = Opts {
@@ -132,4 +137,42 @@ fn fig5_table3_quick_match_pinned_goldens_modulo_volatile_columns() {
         include_str!("golden/table3_memory_vs_h.stripped.csv"),
         "table3 memory-vs-h deviates from the pinned golden — re-pin only for an intentional change"
     );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs the full quick scalability sweep twice; exercised in the release statistical CI job"
+)]
+fn fig5_table3_parallel_selection_matches_sequential_goldens() {
+    let _artifacts = FIG5_ARTIFACTS.lock().unwrap_or_else(|e| e.into_inner());
+    // The parallel-selection acceptance gate: `selection_threads > 1` (and
+    // oversubscribed relative to this machine) must reproduce the pinned
+    // sequential goldens bit-for-bit on the `fig5 table3 --quick` sweep —
+    // the candidate fan-out and batched fixups may not move a single seed,
+    // θ or revenue figure.
+    for threads in [2, 8] {
+        let opts = Opts {
+            quick: true,
+            scale: 0.004,
+            selection_threads: threads,
+            ..Default::default()
+        };
+        experiments::fig5_table3(opts);
+        assert_eq!(
+            strip_columns(&read_artifact("fig5_runtime_vs_h"), &["time_s"]),
+            include_str!("golden/fig5_runtime_vs_h.stripped.csv"),
+            "fig5 runtime-vs-h diverges from the sequential golden at selection_threads={threads}"
+        );
+        assert_eq!(
+            strip_columns(&read_artifact("fig5_runtime_vs_budget"), &["time_s"]),
+            include_str!("golden/fig5_runtime_vs_budget.stripped.csv"),
+            "fig5 runtime-vs-budget diverges from the sequential golden at selection_threads={threads}"
+        );
+        assert_eq!(
+            strip_columns(&read_artifact("table3_memory_vs_h"), &["memory_gib"]),
+            include_str!("golden/table3_memory_vs_h.stripped.csv"),
+            "table3 memory-vs-h diverges from the sequential golden at selection_threads={threads}"
+        );
+    }
 }

@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 /// Statistics of one algorithm run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
@@ -30,6 +30,22 @@ pub struct RunStats {
     pub sample_capped: bool,
     /// Candidate evaluations performed (lazy-evaluation ablation metric).
     pub candidate_evaluations: u64,
+    /// Per-ad candidate refreshes: `select_candidate` invocations across
+    /// rounds. The sequential engine re-evaluated every live ad every round
+    /// (`≈ rounds × h`); the snapshot/arbiter engine only refreshes ads
+    /// whose cached proposal a commit invalidated, so this counter measures
+    /// how much cross-advertiser selection work the round loop actually
+    /// performs. Deterministic and thread-count-invariant.
+    pub candidate_refreshes: u64,
+    /// Rounds in which the committed node invalidated at least one other
+    /// ad's cached candidate (the node sat in that ad's inspected window) —
+    /// the cross-advertiser contention the parallel round structure must
+    /// arbitrate. Deterministic and thread-count-invariant.
+    pub contended_rounds: u64,
+    /// Total non-winner candidate invalidations across rounds (each forces
+    /// one refresh next round). `candidate_refreshes ≈ h + rounds +
+    /// invalidated_candidates` up to termination effects.
+    pub invalidated_candidates: u64,
     /// Stopping-rule evaluations performed across ads (OnlineBounds mode
     /// only; 0 under the fixed-θ schedule).
     pub bound_checks: u64,

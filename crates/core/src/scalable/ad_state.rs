@@ -3,6 +3,48 @@
 use rm_graph::NodeId;
 use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule};
 
+/// One round's candidate proposal for an ad — the per-round scratch split
+/// out of the long-lived [`AdState`] so selection workers only exchange
+/// this small value while the coverage index and heap stay ad-local.
+///
+/// A candidate stays **cached** across rounds until a committed node lands
+/// in its inspected window (`popped`) or the ad itself commits: nothing the
+/// selection read can have changed before then, so re-running selection
+/// would reproduce it bit-for-bit (see `engine::commit_round`).
+pub(crate) struct Candidate {
+    /// Proposed seed node.
+    pub v: NodeId,
+    /// Uncovered-set count of `v` on the selection stream at proposal time
+    /// (still current while the cache is valid — only the ad's own commits
+    /// change its coverage index).
+    pub cov: u32,
+    /// Heap entries popped alongside the candidate (the inspected window),
+    /// to be restored when the proposal is committed or invalidated. Empty
+    /// for the eager-scan ablation and the PageRank cursors.
+    pub popped: Vec<(NodeId, f64)>,
+}
+
+impl Candidate {
+    /// Captures a proposal with its inspected window (each node appears at
+    /// most once: `pop_valid` never returns a node twice).
+    pub fn new(v: NodeId, cov: u32, popped: Vec<(NodeId, f64)>) -> Self {
+        Candidate { v, cov, popped }
+    }
+
+    /// True if committing `v` elsewhere invalidates this proposal: the node
+    /// is the proposal itself or sits in the inspected window.
+    ///
+    /// Deliberately a linear scan: windows are captured far more often than
+    /// any single node is probed against them (a capture follows every
+    /// invalidation), so a sort-at-capture + binary-search scheme costs
+    /// `w log w` per refresh to save `w` cache-linear `u32` compares per
+    /// probe — net negative in both the contended and the cached regime
+    /// (measured on the Table-3 probe arms).
+    pub fn window_hit(&self, v: NodeId) -> bool {
+        self.v == v || self.popped.iter().any(|&(u, _)| u == v)
+    }
+}
+
 /// Everything the engine tracks for one advertiser.
 pub(crate) struct AdState {
     /// Ad index.
@@ -32,6 +74,9 @@ pub(crate) struct AdState {
     pub pr_cursor: usize,
     /// True when the ad can take no further candidates.
     pub exhausted: bool,
+    /// Cached candidate proposal, valid until a commit hits its window.
+    /// `None` for exhausted ads and for ads due a refresh this round.
+    pub candidate: Option<Candidate>,
     /// Base seed of this ad's RR sampling stream.
     pub sample_seed: u64,
     /// RR sets sampled for this ad (including growth batches and, under

@@ -93,8 +93,24 @@ pub struct ScalableConfig {
     /// construction — so this only exists to bound resource use and to let
     /// tests assert that invariance at the engine level.
     pub sampler_threads: usize,
+    /// Worker threads for the per-round cross-advertiser selection fan-out
+    /// (candidate refresh and post-commit fixups). `usize::MAX` = hardware
+    /// parallelism; explicit values are honored even past the core count so
+    /// tests can exercise the parallel path on any machine. Results are
+    /// bit-identical for every value — candidates are evaluated against an
+    /// immutable snapshot of the assigned bitmap and a sequential arbiter
+    /// picks the winner — so, like [`Self::sampler_threads`], this only
+    /// bounds resource use.
+    pub selection_threads: usize,
     /// Master RNG seed; every run is deterministic given it.
     pub seed: u64,
+    /// Test-only oracle switch: invalidate every cached candidate every
+    /// round, reproducing the pre-caching sequential engine's
+    /// refresh-every-round pattern, so equivalence tests can pin the
+    /// caching fast path against it in regimes the golden snapshots do not
+    /// reach (multi-entry windows smaller than the candidate pool).
+    #[cfg(test)]
+    pub(crate) refresh_all_rounds: bool,
 }
 
 impl Default for ScalableConfig {
@@ -108,7 +124,10 @@ impl Default for ScalableConfig {
             lazy: true,
             sampling: SamplingStrategy::FixedTheta,
             sampler_threads: usize::MAX,
+            selection_threads: usize::MAX,
             seed: 0x5EED,
+            #[cfg(test)]
+            refresh_all_rounds: false,
         }
     }
 }
@@ -144,6 +163,7 @@ mod tests {
         // existing runs stay bit-identical; OnlineBounds is opt-in.
         assert_eq!(c.sampling, SamplingStrategy::FixedTheta);
         assert_eq!(c.sampler_threads, usize::MAX);
+        assert_eq!(c.selection_threads, usize::MAX);
         assert_eq!(SamplingStrategy::OnlineBounds.name(), "online-bounds");
         let s = ScalableConfig::scalability();
         assert_eq!(s.epsilon, 0.3);

@@ -1,5 +1,24 @@
 //! The scalable greedy engine (Algorithm 2) shared by TI-CARM, TI-CSRM and
 //! the PageRank baselines.
+//!
+//! The round loop runs in three phases (see DESIGN.md → "Parallel selection
+//! rounds"):
+//!
+//! 1. **Refresh** — candidate evaluation (`select_candidate`: heap pops,
+//!    windowed ratio scans, eager fallback) for every live ad whose cached
+//!    proposal a previous commit invalidated, fanned out across scoped
+//!    worker threads against an immutable snapshot of the `assigned`
+//!    bitmap. Unaffected ads keep their cached proposal: nothing the
+//!    selection read has changed, so re-running it would reproduce the
+//!    proposal bit-for-bit.
+//! 2. **Arbitrate** — a sequential arbiter picks the winning (ad, node)
+//!    pair exactly as the sequential engine did (same iteration order,
+//!    same tie-breaking), so winners are bit-identical for every worker
+//!    count.
+//! 3. **Fix up** — the winner's commit (restore, seed bookkeeping,
+//!    coverage update, `update_latent`/`certify_or_double` resampling) and
+//!    the window restores of every contended ad are batched and run as
+//!    disjoint per-ad jobs on the same worker pool.
 
 use std::time::Instant;
 
@@ -13,7 +32,7 @@ use crate::allocation::SeedAllocation;
 use crate::instance::RmInstance;
 use crate::metrics::RunStats;
 
-use super::ad_state::{AdState, OpimAdState};
+use super::ad_state::{AdState, Candidate, OpimAdState};
 use super::config::{AlgorithmKind, SamplingStrategy, ScalableConfig, Window};
 
 /// Floor on incentive costs when forming coverage-to-cost ratios, so
@@ -22,14 +41,6 @@ use super::config::{AlgorithmKind, SamplingStrategy, ScalableConfig, Window};
 const COST_FLOOR: f64 = 1e-9;
 /// Budget-feasibility slack absorbing floating-point accumulation.
 const BUDGET_EPS: f64 = 1e-9;
-
-/// One round's candidate for an ad.
-struct Candidate {
-    v: NodeId,
-    cov: u32,
-    /// Window entries popped alongside the candidate, to be restored.
-    popped: Vec<(NodeId, f64)>,
-}
 
 /// The scalable algorithm engine. Construct once per run; [`TiEngine::run`]
 /// is deterministic in `config.seed`.
@@ -62,68 +73,39 @@ impl<'a> TiEngine<'a> {
         let mut ads = self.init_ads(&tim);
         let mut rr_cursor = 0usize; // PageRank-RR advertiser rotation
 
+        // Resolved once: the round loop must not re-query hardware
+        // parallelism (or re-decide the fan-out policy) thousands of times.
+        let pool = self.selection_policy();
+
         loop {
-            // Lines 6–8: one candidate per active ad.
-            let mut candidates: Vec<Option<Candidate>> = Vec::with_capacity(h);
-            for st in ads.iter_mut() {
-                if st.exhausted {
-                    candidates.push(None);
-                    continue;
-                }
-                let cand = self.select_candidate(st, &assigned, &mut stats);
-                if cand.is_none() {
-                    st.exhausted = true;
-                }
-                candidates.push(cand);
-            }
-            if candidates.iter().all(Option::is_none) {
+            // Lines 6–8: one candidate per active ad. Only ads whose cached
+            // proposal was invalidated re-run selection, in parallel against
+            // the immutable `assigned` snapshot.
+            self.refresh_candidates(&mut ads, &assigned, &pool, &mut stats);
+            if ads.iter().all(|st| st.candidate.is_none()) {
                 break;
             }
 
-            // Line 9: global feasible argmax (or round-robin for PR-RR).
-            let winner = self.choose_winner(&ads, &candidates, rr_cursor, n);
+            // Line 9: the sequential arbiter — global feasible argmax (or
+            // round-robin for PR-RR), in the sequential engine's exact
+            // iteration and tie-breaking order.
+            let winner = self.choose_winner(&ads, rr_cursor, n);
 
             match winner {
                 Some(i) => {
                     if matches!(self.kind, AlgorithmKind::PageRankRr) {
                         rr_cursor = (i + 1) % h;
                     }
-                    // Commit (lines 10–14), restore everyone else's
-                    // candidates.
-                    let mut committed_v = 0;
-                    for (j, cand) in candidates.into_iter().enumerate() {
-                        let Some(cand) = cand else { continue };
-                        if j == i {
-                            committed_v = cand.v;
-                            self.restore(&mut ads[j], &cand, true);
-                        } else {
-                            self.restore(&mut ads[j], &cand, false);
-                        }
-                    }
-                    let st = &mut ads[i];
-                    assigned[committed_v as usize] = true;
-                    st.seeds.push(committed_v);
-                    st.is_seed[committed_v as usize] = true;
-                    st.cov.cover_with(committed_v);
-                    // OnlineBounds: the validation stream tracks the
-                    // committed set too — it feeds the unbiased π̂ and the
-                    // stopping rule's achieved count (never selection).
-                    if let Some(op) = st.opim.as_mut() {
-                        op.val_cov.cover_with(committed_v);
-                    }
-                    st.cost_total += self.inst.incentives[i].cost(committed_v);
-                    if matches!(
-                        self.kind,
-                        AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
-                    ) {
-                        st.pr_cursor += 1;
-                    }
+                    let v = ads[i]
+                        .candidate
+                        .as_ref()
+                        .expect("arbiter winners hold a candidate")
+                        .v;
+                    assigned[v as usize] = true;
                     stats.rounds += 1;
-
-                    // Lines 17–22: latent seed-set-size update + sample growth.
-                    if st.seeds.len() >= st.s_latent {
-                        self.update_latent(st, &assigned, &tim, &mut stats);
-                    }
+                    // Commit + fixups (lines 10–14 and 17–22), batched
+                    // across the affected ads.
+                    self.commit_round(&mut ads, i, v, &assigned, &tim, &pool, &mut stats);
                 }
                 None => {
                     // No feasible candidate anywhere this round.
@@ -133,23 +115,7 @@ impl<'a> TiEngine<'a> {
                     }
                     // Ablation semantics (Alg. 1): permanently discard the
                     // infeasible candidates and keep going.
-                    for (j, cand) in candidates.into_iter().enumerate() {
-                        let Some(cand) = cand else { continue };
-                        if matches!(
-                            self.kind,
-                            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
-                        ) {
-                            ads[j].pr_cursor += 1;
-                        } else {
-                            // Restore window co-candidates; drop only the
-                            // candidate itself (it stays popped → discarded).
-                            for &(v, key) in &cand.popped {
-                                if v != cand.v {
-                                    ads[j].heap.push(v, key);
-                                }
-                            }
-                        }
-                    }
+                    self.discard_candidates(&mut ads);
                 }
             }
         }
@@ -160,14 +126,19 @@ impl<'a> TiEngine<'a> {
         stats.latent_size_per_ad = vec![0; h];
         stats.revenue_per_ad = vec![0.0; h];
         stats.seeding_cost_per_ad = vec![0.0; h];
-        for (i, st) in ads.into_iter().enumerate() {
+        for (i, mut st) in ads.into_iter().enumerate() {
             stats.seeds_per_ad[i] = st.seeds.len();
             stats.theta_per_ad[i] = st.theta;
             stats.latent_size_per_ad[i] = st.s_latent;
             stats.revenue_per_ad[i] = st.pi(self.inst.ads[i].cpe, n);
             stats.seeding_cost_per_ad[i] = st.cost_total;
+            // Table 3 reports the live sample: sets covered by seeds
+            // committed since the last growth batch still hold storage, so
+            // compact before reading the footprint.
+            st.cov.compact();
             stats.rr_memory_bytes += st.cov.memory_bytes() + st.sampler.memory_bytes();
-            if let Some(op) = &st.opim {
+            if let Some(op) = st.opim.as_mut() {
+                op.val_cov.compact();
                 stats.rr_memory_bytes += op.val_cov.memory_bytes();
             }
             stats.rr_sets_sampled += st.samples;
@@ -177,6 +148,268 @@ impl<'a> TiEngine<'a> {
         }
         stats.elapsed = start.elapsed();
         (alloc, stats)
+    }
+
+    /// Phase 1 of a round: (re-)evaluates the candidate of every live ad
+    /// that lacks one — the ads whose proposal the previous commit
+    /// invalidated, plus everyone on the first round — fanned out across
+    /// scoped workers against the immutable `assigned` snapshot. An ad with
+    /// no remaining candidate is retired exactly as in the sequential loop.
+    fn refresh_candidates(
+        &self,
+        ads: &mut [AdState],
+        assigned: &[bool],
+        pool: &SelectionPolicy,
+        stats: &mut RunStats,
+    ) {
+        let jobs: Vec<&mut AdState> = ads
+            .iter_mut()
+            .filter(|st| !st.exhausted && st.candidate.is_none())
+            .collect();
+        let threads = pool.threads_for(jobs.len(), self.selection_job_cost());
+        self.for_each_ad(jobs, threads, stats, |st, scratch| {
+            scratch.candidate_refreshes += 1;
+            st.candidate = self.select_candidate(st, assigned, scratch);
+            if st.candidate.is_none() {
+                st.exhausted = true;
+            }
+        });
+    }
+
+    /// Phase 3 of a round: the committed pair's fixups, batched across the
+    /// affected ads and run on the selection worker pool. The winner
+    /// restores its window and commits (seed bookkeeping, coverage update,
+    /// validation stream, Eq. 10 latent-size update with
+    /// `certify_or_double`/fixed-θ resampling); every other ad whose cached
+    /// proposal the committed node invalidated restores its inspected
+    /// window so the refresh next round re-pops from an untouched heap.
+    /// Unaffected ads are not touched at all — their cached proposal, and
+    /// the heap entries it holds popped, stay exactly as they were.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_round(
+        &self,
+        ads: &mut [AdState],
+        winner: usize,
+        v: NodeId,
+        assigned: &[bool],
+        tim: &TimConfig,
+        pool: &SelectionPolicy,
+        stats: &mut RunStats,
+    ) {
+        let cacheable = self.cacheable();
+        let mut invalidated = 0u64;
+        let mut fixup_cost = 1usize;
+        let mut jobs: Vec<&mut AdState> = Vec::new();
+        for st in ads.iter_mut() {
+            if st.idx == winner {
+                jobs.push(st);
+                continue;
+            }
+            let Some(cand) = st.candidate.as_ref() else {
+                continue;
+            };
+            let hit = cand.window_hit(v);
+            if hit {
+                invalidated += 1;
+            }
+            if hit || !cacheable {
+                fixup_cost = fixup_cost.max(cand.popped.len());
+                jobs.push(st);
+            }
+        }
+        stats.invalidated_candidates += invalidated;
+        if invalidated > 0 {
+            stats.contended_rounds += 1;
+        }
+        // Gate on the *fixup* work (the largest window restore), not the
+        // selection estimate: an eager-ablation restore is a no-op and a
+        // windowed restore is O(popped), so spawning for those by the
+        // selection cost would be pure overhead.
+        let threads = pool.threads_for(jobs.len(), fixup_cost);
+        self.for_each_ad(jobs, threads, stats, |st, scratch| {
+            let cand = st.candidate.take().expect("fixup jobs hold a candidate");
+            if st.idx == winner {
+                self.commit_winner(st, &cand, assigned, tim, scratch);
+            } else {
+                self.restore(st, &cand, false);
+            }
+        });
+    }
+
+    /// Lines 10–14 and 17–22 for the winning ad.
+    fn commit_winner(
+        &self,
+        st: &mut AdState,
+        cand: &Candidate,
+        assigned: &[bool],
+        tim: &TimConfig,
+        stats: &mut RunStats,
+    ) {
+        self.restore(st, cand, true);
+        let v = cand.v;
+        st.seeds.push(v);
+        st.is_seed[v as usize] = true;
+        st.cov.cover_with(v);
+        // OnlineBounds: the validation stream tracks the committed set too —
+        // it feeds the unbiased π̂ and the stopping rule's achieved count
+        // (never selection).
+        if let Some(op) = st.opim.as_mut() {
+            op.val_cov.cover_with(v);
+        }
+        st.cost_total += self.inst.incentives[st.idx].cost(v);
+        if matches!(
+            self.kind,
+            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
+        ) {
+            st.pr_cursor += 1;
+        }
+        // Lines 17–22: latent seed-set-size update + sample growth.
+        if st.seeds.len() >= st.s_latent {
+            self.update_latent(st, assigned, tim, stats);
+        }
+    }
+
+    /// Alg. 1 semantics for a round with no feasible winner: permanently
+    /// discard every ad's current candidate and keep going.
+    fn discard_candidates(&self, ads: &mut [AdState]) {
+        for st in ads.iter_mut() {
+            let Some(cand) = st.candidate.take() else {
+                continue;
+            };
+            if matches!(
+                self.kind,
+                AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
+            ) {
+                st.pr_cursor += 1;
+            } else {
+                // Restore window co-candidates; drop only the candidate
+                // itself (it stays popped → discarded).
+                for &(u, key) in &cand.popped {
+                    if u != cand.v {
+                        st.heap.push(u, key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when cached candidates survive rounds that do not touch their
+    /// window. The lazy heap paths record exactly the entries they
+    /// inspected ([`Candidate::popped`]) and the PageRank cursors inspect a
+    /// single node, so an unaffected proposal would re-derive
+    /// bit-identically. The eager-scan ablation inspects *every* node
+    /// without recording a window (under a windowed ratio the (w+1)-th
+    /// coverage node can enter and win once a window member is assigned),
+    /// so it re-evaluates every ad every round like the sequential engine.
+    fn cacheable(&self) -> bool {
+        #[cfg(test)]
+        if self.cfg.refresh_all_rounds {
+            return false;
+        }
+        self.cfg.lazy
+            || matches!(
+                self.kind,
+                AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
+            )
+    }
+
+    /// Resolves the per-run selection fan-out policy. Auto mode
+    /// (`selection_threads == usize::MAX`) caps at hardware parallelism and
+    /// gates tiny rounds to run inline — spawning scoped workers for a
+    /// handful of heap pops costs more than the pops. An explicit thread
+    /// count is honored verbatim (even past the core count, ungated), so
+    /// tests exercise the parallel path deterministically on any machine.
+    fn selection_policy(&self) -> SelectionPolicy {
+        if self.cfg.selection_threads == usize::MAX {
+            SelectionPolicy {
+                cap: std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1),
+                gated: true,
+            }
+        } else {
+            SelectionPolicy {
+                cap: self.cfg.selection_threads.max(1),
+                gated: false,
+            }
+        }
+    }
+
+    /// Rough heap-operations-per-job estimate feeding the auto-mode spawn
+    /// gate: the windowed CS scan pops (and later restores) up to `w`
+    /// entries per ad, the eager ablation scans every node, and the other
+    /// paths touch a handful of entries.
+    fn selection_job_cost(&self) -> usize {
+        if !self.cfg.lazy {
+            return self.inst.num_nodes();
+        }
+        match self.kind {
+            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => 1,
+            AlgorithmKind::TiCarm => 32,
+            AlgorithmKind::TiCsrm => match self.cfg.window {
+                Window::Full => 32,
+                Window::Size(w) => w.max(1),
+            },
+        }
+    }
+
+    /// Runs `work` over disjoint `&mut AdState` jobs, fanned out across up
+    /// to `threads` scoped workers in contiguous chunks. Each worker
+    /// accumulates statistics into its own scratch [`RunStats`]; scratches
+    /// merge into `stats` in chunk order, and every counter the workers
+    /// touch is a per-ad sum, so the totals are identical to the
+    /// sequential pass for every worker count.
+    fn for_each_ad<F>(
+        &self,
+        mut jobs: Vec<&mut AdState>,
+        threads: usize,
+        stats: &mut RunStats,
+        work: F,
+    ) where
+        F: Fn(&mut AdState, &mut RunStats) + Sync,
+    {
+        if threads <= 1 || jobs.len() <= 1 {
+            for st in jobs {
+                work(st, stats);
+            }
+            return;
+        }
+        let chunk = jobs.len().div_ceil(threads);
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks_mut(chunk)
+                .map(|batch| {
+                    scope.spawn(move || {
+                        let mut scratch = RunStats::default();
+                        for st in batch.iter_mut() {
+                            work(st, &mut scratch);
+                        }
+                        scratch
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let mut scratch = handle.join().expect("selection worker panicked");
+                // The only stats the refresh/fixup closures touch; extend
+                // this merge when a worker-side closure grows a counter.
+                stats.candidate_evaluations += scratch.candidate_evaluations;
+                stats.candidate_refreshes += scratch.candidate_refreshes;
+                stats.budget_exhausted_ads += scratch.budget_exhausted_ads;
+                // Structural guard on the allowlist above: a worker closure
+                // growing any *other* counter would be silently dropped here
+                // while the threads=1 inline path counted it — breaking
+                // thread-count invariance only on multi-core runs.
+                scratch.candidate_evaluations = 0;
+                scratch.candidate_refreshes = 0;
+                scratch.budget_exhausted_ads = 0;
+                debug_assert_eq!(
+                    scratch,
+                    RunStats::default(),
+                    "worker scratch touched a RunStats field outside the merge allowlist"
+                );
+            }
+        });
     }
 
     /// Lines 1–4: pilot KPT estimation, initial θ and sample, heaps/orders.
@@ -317,6 +550,7 @@ impl<'a> TiEngine<'a> {
             pr_order,
             pr_cursor: 0,
             exhausted: false,
+            candidate: None,
             sample_seed,
             samples,
             capped,
@@ -477,11 +711,7 @@ impl<'a> TiEngine<'a> {
                         continue;
                     }
                     stats.candidate_evaluations += 1;
-                    return Some(Candidate {
-                        v,
-                        cov: st.cov.coverage(v),
-                        popped: Vec::new(),
-                    });
+                    return Some(Candidate::new(v, st.cov.coverage(v), Vec::new()));
                 }
                 None
             }
@@ -517,11 +747,7 @@ impl<'a> TiEngine<'a> {
         };
         stats.candidate_evaluations += 1;
         let (v, key_now) = st.heap.pop_valid(current, |v| assigned[v as usize])?;
-        Some(Candidate {
-            v,
-            cov: cov_ref.coverage(v),
-            popped: vec![(v, key_now)],
-        })
+        Some(Candidate::new(v, cov_ref.coverage(v), vec![(v, key_now)]))
     }
 
     /// Windowed CS selection (Alg. 5 with window `w`): pop the top-`w` nodes
@@ -558,11 +784,7 @@ impl<'a> TiEngine<'a> {
             .map(|&(v, cov)| (v, cov, cov / incent.cost(v).max(COST_FLOOR)))
             .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(v, cov, _)| (v, cov as u32))?;
-        Some(Candidate {
-            v: best.0,
-            cov: best.1,
-            popped,
-        })
+        Some(Candidate::new(best.0, best.1, popped))
     }
 
     /// Eager (non-lazy) scan over every unassigned node — the ablation
@@ -598,11 +820,7 @@ impl<'a> TiEngine<'a> {
                         best = Some((v, c, k));
                     }
                 }
-                best.map(|(v, cov, _)| Candidate {
-                    v,
-                    cov,
-                    popped: Vec::new(),
-                })
+                best.map(|(v, cov, _)| Candidate::new(v, cov, Vec::new()))
             }
             KeyKind::WindowedRatio => {
                 // Top-w by coverage, then best ratio among them.
@@ -619,11 +837,7 @@ impl<'a> TiEngine<'a> {
                 top.into_iter()
                     .map(|(v, c)| (v, c, c as f64 / incent.cost(v).max(COST_FLOOR)))
                     .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(v, cov, _)| Candidate {
-                        v,
-                        cov,
-                        popped: Vec::new(),
-                    })
+                    .map(|(v, cov, _)| Candidate::new(v, cov, Vec::new()))
             }
         }
     }
@@ -639,14 +853,12 @@ impl<'a> TiEngine<'a> {
         }
     }
 
-    /// Line 9's global choice. Returns the winning ad index.
-    fn choose_winner(
-        &self,
-        ads: &[AdState],
-        candidates: &[Option<Candidate>],
-        rr_cursor: usize,
-        n: usize,
-    ) -> Option<usize> {
+    /// Line 9's global choice over the ads' current (possibly cached)
+    /// candidates. Returns the winning ad index. Feasibility is evaluated
+    /// fresh every round — budgets and π̂ move only when an ad itself
+    /// commits, so a cached candidate's feasibility test reads exactly the
+    /// state the sequential engine would have read.
+    fn choose_winner(&self, ads: &[AdState], rr_cursor: usize, n: usize) -> Option<usize> {
         let h = ads.len();
         let feasible = |j: usize, cand: &Candidate| -> Option<(f64, f64)> {
             let ad = &self.inst.ads[j];
@@ -672,7 +884,7 @@ impl<'a> TiEngine<'a> {
             AlgorithmKind::PageRankRr => {
                 for off in 0..h {
                     let j = (rr_cursor + off) % h;
-                    if let Some(cand) = &candidates[j] {
+                    if let Some(cand) = &ads[j].candidate {
                         if feasible(j, cand).is_some() {
                             return Some(j);
                         }
@@ -682,8 +894,8 @@ impl<'a> TiEngine<'a> {
             }
             AlgorithmKind::TiCarm | AlgorithmKind::PageRankGr => {
                 let mut best: Option<(usize, f64)> = None;
-                for (j, cand) in candidates.iter().enumerate() {
-                    let Some(cand) = cand else { continue };
+                for (j, st) in ads.iter().enumerate() {
+                    let Some(cand) = &st.candidate else { continue };
                     if let Some((d_pi, _)) = feasible(j, cand) {
                         if best.is_none_or(|(_, s)| d_pi > s) {
                             best = Some((j, d_pi));
@@ -694,8 +906,8 @@ impl<'a> TiEngine<'a> {
             }
             AlgorithmKind::TiCsrm => {
                 let mut best: Option<(usize, f64)> = None;
-                for (j, cand) in candidates.iter().enumerate() {
-                    let Some(cand) = cand else { continue };
+                for (j, st) in ads.iter().enumerate() {
+                    let Some(cand) = &st.candidate else { continue };
                     if let Some((d_pi, d_rho)) = feasible(j, cand) {
                         let ratio = if d_rho <= 0.0 { 0.0 } else { d_pi / d_rho };
                         if best.is_none_or(|(_, s)| ratio > s) {
@@ -801,6 +1013,36 @@ impl<'a> TiEngine<'a> {
                 }
             }
         }
+    }
+}
+
+/// Per-run selection fan-out policy (see [`TiEngine::selection_policy`]).
+struct SelectionPolicy {
+    /// Worker cap: hardware parallelism in auto mode, or the explicit
+    /// `selection_threads` value.
+    cap: usize,
+    /// True in auto mode: rounds whose estimated work is below
+    /// [`SPAWN_WORK_GATE`] run inline instead of spawning.
+    gated: bool,
+}
+
+/// Estimated heap operations below which an auto-mode round runs inline:
+/// two scoped spawn/joins cost on the order of tens of microseconds,
+/// comparable to a few thousand heap operations.
+const SPAWN_WORK_GATE: usize = 8192;
+
+impl SelectionPolicy {
+    /// Worker count for a fan-out over `jobs` tasks of about `job_cost`
+    /// heap operations each.
+    fn threads_for(&self, jobs: usize, job_cost: usize) -> usize {
+        let cap = self.cap.min(jobs);
+        if cap <= 1 {
+            return 1;
+        }
+        if self.gated && jobs.saturating_mul(job_cost) < SPAWN_WORK_GATE {
+            return 1;
+        }
+        cap
     }
 }
 

@@ -10,11 +10,54 @@ use std::path::Path;
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, NodeId};
 
-/// Reads an edge list from a reader. Node ids are compacted: the graph has
-/// `max id + 1` nodes.
+/// A parsed edge list with its dense-id remap.
+///
+/// SNAP id spaces are gap-heavy (a few hundred thousand nodes can span ids
+/// into the tens of millions), so the reader compacts ids to `0..n` where
+/// `n` is the number of *distinct endpoint ids* — otherwise every
+/// node-indexed array in the pipeline (coverage counts, seed masks, alias
+/// tables) is sized by `max id + 1`.
+#[derive(Clone, Debug)]
+pub struct CompactedEdgeList {
+    /// The graph over densely remapped node ids.
+    pub graph: CsrGraph,
+    /// Original id of each compact node: `original_ids[v]` is the source
+    /// file's id for graph node `v`. Sorted ascending, so the remap
+    /// preserves the original ids' relative order.
+    pub original_ids: Vec<u64>,
+}
+
+impl CompactedEdgeList {
+    /// Looks up the compact id of an original file id, if present.
+    pub fn compact_id(&self, original: u64) -> Option<NodeId> {
+        self.original_ids
+            .binary_search(&original)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+}
+
+/// Reads an edge list from a reader. Node ids are compacted via a dense
+/// remap (see [`CompactedEdgeList`]); use [`read_edge_list_compacted`] to
+/// keep the compact → original mapping. Self-loops are dropped and
+/// duplicate edges deduplicated at ingest (they would otherwise corrupt
+/// the Weighted-Cascade `1/in-degree` probabilities and the LT
+/// water-filling, both of which key on clean in-neighbor lists).
+///
+/// The edge-list format carries only edge endpoints, so **isolated nodes
+/// do not survive a [`write_edge_list`] → `read_edge_list` round trip**
+/// (and with compaction, an isolated *interior* id also shifts the ids
+/// after it). Round-tripping is id-exact precisely for graphs whose nodes
+/// all have at least one edge — any node-indexed side data for other
+/// graphs must be re-keyed through [`CompactedEdgeList::original_ids`].
 pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
-    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut max_id: NodeId = 0;
+    Ok(read_edge_list_compacted(reader)?.graph)
+}
+
+/// Reads an edge list, returning both the compacted graph and the
+/// dense-id → original-id mapping.
+pub fn read_edge_list_compacted<R: BufRead>(reader: R) -> io::Result<CompactedEdgeList> {
+    let mut raw: Vec<(u64, u64)> = Vec::new();
     for line in reader.lines() {
         let line = line?;
         let t = line.trim();
@@ -31,29 +74,44 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
                 ))
             }
         };
-        let u: NodeId = a.parse().map_err(|e| {
+        let u: u64 = a.parse().map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("bad node id {a:?}: {e}"),
             )
         })?;
-        let v: NodeId = b.parse().map_err(|e| {
+        let v: u64 = b.parse().map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("bad node id {b:?}: {e}"),
             )
         })?;
-        max_id = max_id.max(u).max(v);
-        edges.push((u, v));
+        raw.push((u, v));
     }
-    let n = if edges.is_empty() {
-        0
-    } else {
-        max_id as usize + 1
+    // Dense remap: distinct endpoint ids, ascending.
+    let mut original_ids: Vec<u64> = raw.iter().flat_map(|&(u, v)| [u, v]).collect();
+    original_ids.sort_unstable();
+    original_ids.dedup();
+    if original_ids.len() > NodeId::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "edge list has {} distinct ids, over the node-id limit",
+                original_ids.len()
+            ),
+        ));
+    }
+    let compact = |id: u64| -> NodeId {
+        original_ids
+            .binary_search(&id)
+            .expect("endpoint collected above") as NodeId
     };
-    let mut b = GraphBuilder::with_capacity(n, edges.len());
-    b.extend(edges);
-    Ok(b.build())
+    let mut b = GraphBuilder::with_capacity(original_ids.len(), raw.len());
+    b.extend(raw.into_iter().map(|(u, v)| (compact(u), compact(v))));
+    Ok(CompactedEdgeList {
+        graph: b.build(),
+        original_ids,
+    })
 }
 
 /// Reads an edge list from a file path.
@@ -113,5 +171,79 @@ mod tests {
     fn empty_input_gives_empty_graph() {
         let g = read_edge_list(io::BufReader::new("".as_bytes())).unwrap();
         assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn round_trip_with_isolated_interior_node_compacts() {
+        // The edge-list format has no representation for isolated nodes,
+        // so they vanish on round trip and compaction renumbers the ids
+        // after them — documented behavior; side data must be re-keyed via
+        // the returned mapping.
+        let g = graph_from_edges(3, &[(0, 2)]); // node 1 isolated
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let out = read_edge_list_compacted(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(out.graph.num_nodes(), 2);
+        assert_eq!(out.original_ids, vec![0, 2]);
+        assert_eq!(out.compact_id(2), Some(1));
+        let edges: Vec<_> = out.graph.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn sparse_ids_are_compacted() {
+        // Regression: a gap-heavy SNAP id space must not inflate the node
+        // count — `{(5, 1000000)}` is a 2-node graph, not a 1000001-node
+        // one.
+        let text = "5 1000000\n";
+        let out = read_edge_list_compacted(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(out.graph.num_nodes(), 2);
+        assert_eq!(out.graph.num_edges(), 1);
+        assert_eq!(out.graph.out_neighbors(0), &[1]);
+        assert_eq!(out.original_ids, vec![5, 1000000]);
+        assert_eq!(out.compact_id(5), Some(0));
+        assert_eq!(out.compact_id(1000000), Some(1));
+        assert_eq!(out.compact_id(6), None);
+    }
+
+    #[test]
+    fn remap_preserves_relative_order_and_structure() {
+        // Ids 10 < 20 < 70 < 1000 map to 0..4 in the same order, and the
+        // edge structure follows the remap.
+        let text = "70 10\n20 1000\n10 20\n";
+        let out = read_edge_list_compacted(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(out.graph.num_nodes(), 4);
+        assert_eq!(out.original_ids, vec![10, 20, 70, 1000]);
+        // 70→10 becomes 2→0, 20→1000 becomes 1→3, 10→20 becomes 0→1.
+        let edges: Vec<_> = out.graph.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(edges, vec![(0, 1), (1, 3), (2, 0)]);
+        // Ids beyond u32 parse fine as long as the *count* stays in range.
+        let wide = "5000000000 5\n";
+        let out = read_edge_list_compacted(io::BufReader::new(wide.as_bytes())).unwrap();
+        assert_eq!(out.graph.num_nodes(), 2);
+        assert_eq!(out.original_ids, vec![5, 5_000_000_000]);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_dropped_at_ingest() {
+        // SNAP lists routinely repeat edges and carry self-loops; both must
+        // vanish at ingest — a duplicate arc would double an in-neighbor's
+        // WC probability mass `1/indeg`, and a self-loop would give a node
+        // influence over itself in the LT water-filling.
+        let text = "#dup+loop\n7 7\n3 9\n3 9\n9 3\n3 3\n";
+        let out = read_edge_list_compacted(io::BufReader::new(text.as_bytes())).unwrap();
+        // Node 7 only ever appears in its self-loop; it still counts as an
+        // endpoint (isolated after cleanup).
+        assert_eq!(out.original_ids, vec![3, 7, 9]);
+        assert_eq!(out.graph.num_nodes(), 3);
+        assert_eq!(out.graph.num_edges(), 2, "only 3→9 and 9→3 survive");
+        assert_eq!(out.graph.out_neighbors(0), &[2]);
+        assert_eq!(out.graph.out_neighbors(1), &[] as &[NodeId]);
+        assert_eq!(out.graph.out_neighbors(2), &[0]);
+        // Clean in-neighbor lists: each surviving node has in-degree 1, so
+        // WC assigns probability 1 to its single in-edge — no corruption
+        // from the dropped duplicate.
+        assert_eq!(out.graph.in_neighbors(0), &[2]);
+        assert_eq!(out.graph.in_neighbors(2), &[0]);
     }
 }

@@ -313,9 +313,33 @@ impl RrCoverage {
         best
     }
 
+    /// Forces a compacting rebuild and trims every backing allocation to
+    /// its live size, so [`Self::memory_bytes`] afterwards reports exactly
+    /// the live sample's footprint.
+    ///
+    /// `add_batch` is the only path that rebuilds, so without this the
+    /// capacity-based accounting goes stale at run end: sets covered by
+    /// seeds committed *after* the last growth batch keep their forward and
+    /// inverted storage, and the pending tail's `Vec`-doubling slack is
+    /// never returned. The engine compacts each ad's index at termination
+    /// so Table 3 reports the post-compaction footprint, not that stale
+    /// pre-compaction capacity.
+    pub fn compact(&mut self) {
+        self.rebuild();
+        // The rebuild writes exact-capacity arrays; trimming is belt and
+        // braces for the offset vectors it reuses.
+        self.set_offsets.shrink_to_fit();
+        self.set_nodes.shrink_to_fit();
+        self.inv_offsets.shrink_to_fit();
+        self.inv_bytes.shrink_to_fit();
+        self.covered.shrink_to_fit();
+    }
+
     /// Resident bytes of the index: flattened sets, the inverted CSR, and
     /// per-node/per-set bookkeeping. Capacity-based — this is what the
-    /// allocator actually holds, and what Table 3 reports.
+    /// allocator actually holds, and what Table 3 reports (the engine
+    /// [compacts](Self::compact) at termination so the report reflects the
+    /// live sample).
     pub fn memory_bytes(&self) -> usize {
         4 * self.set_nodes.capacity()
             + 4 * self.set_offsets.capacity()
@@ -627,6 +651,66 @@ mod tests {
         );
         assert_eq!(idx.covered_total(), 400);
         assert_eq!(idx.coverage(1), 1);
+        // The rebuild writes exact-capacity arrays, so the capacity-based
+        // accounting must equal the live footprint — no stale slack.
+        assert_exact_accounting(&idx);
+    }
+
+    /// Asserts the capacity-based [`RrCoverage::memory_bytes`] equals the
+    /// live footprint: every backing array trimmed to its length, the
+    /// reported bytes the sum of those lengths.
+    fn assert_exact_accounting(idx: &RrCoverage) {
+        assert_eq!(idx.set_nodes.capacity(), idx.set_nodes.len());
+        assert_eq!(idx.set_offsets.capacity(), idx.set_offsets.len());
+        assert_eq!(idx.inv_offsets.capacity(), idx.inv_offsets.len());
+        assert_eq!(idx.inv_bytes.capacity(), idx.inv_bytes.len());
+        assert_eq!(idx.covered.capacity(), idx.covered.len());
+        let live = 4 * idx.set_nodes.len()
+            + 4 * idx.set_offsets.len()
+            + 4 * idx.inv_offsets.len()
+            + idx.inv_bytes.len()
+            + 4 * idx.cov.capacity()
+            + idx.covered.len();
+        assert_eq!(idx.memory_bytes(), live);
+    }
+
+    #[test]
+    fn compact_reclaims_terminal_covers_without_an_add_batch() {
+        // Covers committed after the last growth batch leave the
+        // accounting stale (add_batch is the only rebuild path): the bytes
+        // reported before compact() still include every covered set plus
+        // the append tail's doubling slack. compact() must drop both and
+        // leave the accounting exact — the Table 3 termination fix.
+        let mut idx = RrCoverage::new(50);
+        let big: RrArena = (0..400u32).map(|i| vec![0, 1 + i % 49]).collect();
+        idx.add_batch(&big, &[false; 50]);
+        let before = idx.memory_bytes();
+        assert_eq!(idx.cover_with(0), 400);
+        // No add_batch after the cover: the stale capacity still holds
+        // every covered set.
+        assert_eq!(idx.memory_bytes(), before);
+        idx.compact();
+        assert!(
+            idx.memory_bytes() < before / 2,
+            "terminal compaction should reclaim covered sets: {} vs {before}",
+            idx.memory_bytes()
+        );
+        assert_exact_accounting(&idx);
+        // Queries survive compaction untouched.
+        assert_eq!(idx.num_sets(), 400, "θ keeps counting dropped sets");
+        assert_eq!(idx.covered_total(), 400);
+        assert_eq!(idx.coverage(0), 0);
+        assert_eq!(idx.coverage(1), 0);
+        // And the index stays fully usable after compaction.
+        let more: RrArena = (0..4u32).map(|i| vec![1 + i]).collect();
+        idx.add_batch(&more, &{
+            let mut s = [false; 50];
+            s[0] = true;
+            s
+        });
+        assert_eq!(idx.num_sets(), 404);
+        assert_eq!(idx.coverage(1), 1);
+        assert_eq!(idx.cover_with(1), 1);
     }
 
     #[test]

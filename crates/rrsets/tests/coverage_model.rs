@@ -76,10 +76,10 @@ fn apply_op(
     model: &mut NaiveCoverage,
     is_seed: &mut [bool],
 ) -> Result<(), TestCaseError> {
-    match op % 4 {
+    match op % 5 {
         // add_batch of up to 4 sets with pseudo-random small members.
         0 => {
-            let mut x = op / 4;
+            let mut x = op / 5;
             let batch_len = (x % 4) as usize + 1;
             let mut batch: Vec<Vec<NodeId>> = Vec::new();
             for _ in 0..batch_len {
@@ -101,7 +101,7 @@ fn apply_op(
         }
         // cover_with a pseudo-random node; it becomes a seed.
         1 => {
-            let v = ((op / 4) % n as u64) as NodeId;
+            let v = ((op / 5) % n as u64) as NodeId;
             let a = idx.cover_with(v);
             let b = model.cover_with(v);
             prop_assert_eq!(a, b, "cover_with({}) gains diverge", v);
@@ -113,9 +113,24 @@ fn apply_op(
                 prop_assert_eq!(idx.coverage(v), model.coverage(v), "coverage({})", v);
             }
         }
+        // Terminal-style compaction mid-stream: queries must be untouched
+        // and θ must keep counting the dropped sets.
+        3 => {
+            idx.compact();
+            prop_assert_eq!(idx.num_sets(), model.sets.len());
+            prop_assert_eq!(idx.covered_total(), model.covered_total());
+            for v in 0..n as NodeId {
+                prop_assert_eq!(
+                    idx.coverage(v),
+                    model.coverage(v),
+                    "post-compact coverage({})",
+                    v
+                );
+            }
+        }
         // max_coverage with a pseudo-random skip mask.
         _ => {
-            let mask = op / 4;
+            let mask = op / 5;
             let skip = |v: NodeId| (mask >> (v % 61)) & 1 == 1;
             prop_assert_eq!(idx.max_coverage(skip), model.max_coverage(skip));
         }
