@@ -52,6 +52,25 @@ fn bench_rrsets_throughput(c: &mut Criterion) {
         });
     });
 
+    // TIC arm: an L = 10 table whose every topic column is the WC prior,
+    // under a peaked mixture — the mixed probability equals the flat IC
+    // arm's on every edge, so RR-set sizes match and the delta against
+    // `sample_batch_50k` is pure lazy-Eq.-1-mixing overhead (10-float dot
+    // product per candidate edge instead of one table read).
+    let mut wc_rows = Vec::with_capacity(g.num_edges() * 10);
+    for e in 0..g.num_edges() as u32 {
+        wc_rows.extend(std::iter::repeat_n(probs.get(e), 10));
+    }
+    let tic = std::sync::Arc::new(TicModel::from_matrix(&g, 10, wc_rows));
+    let tic_model = DiffusionModel::tic(tic, TopicDistribution::peaked(10, 3, 0.91));
+    group.bench_function("sample_batch_tic_50k", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            rm_rrsets::sample_rr_batch_model(&g, &tic_model, BATCH, 7, round * BATCH as u64)
+        });
+    });
+
     let (sets, _) = rm_rrsets::sample_rr_batch(&g, &probs, BATCH, 11, 0);
     group.bench_function("coverage_ingest_50k", |b| {
         let mask = vec![false; N];

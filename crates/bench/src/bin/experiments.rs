@@ -4,7 +4,7 @@
 //! experiments <id> [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]
 //!             [--selection-threads n]
 //!
-//! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality
+//! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality
 //!      ablation-lazy ablation-term ablation-singleton ablation-opim
 //!      quality   (fig2+fig3+fig4)
 //!      scalability (fig5+table3)
@@ -84,6 +84,7 @@ fn run(id: &str, opts: Opts) {
         "fig2" | "fig3" | "fig23" => experiments::fig2_fig3(opts),
         "fig4" => experiments::fig4(opts),
         "lt-quality" => experiments::lt_quality(opts),
+        "tic-quality" => experiments::tic_quality(opts),
         "fig5" | "table3" => experiments::fig5_table3(opts),
         "ablation-lazy" => experiments::ablation_lazy(opts),
         "ablation-term" => experiments::ablation_termination(opts),
@@ -101,6 +102,7 @@ fn run(id: &str, opts: Opts) {
             experiments::fig2_fig3(opts);
             experiments::fig4(opts);
             experiments::lt_quality(opts);
+            experiments::tic_quality(opts);
             experiments::fig5_table3(opts);
             experiments::ablation_lazy(opts);
             experiments::ablation_termination(opts);
@@ -120,7 +122,7 @@ fn usage() {
     eprintln!(
         "usage: experiments <id>... [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]\n\
               [--selection-threads n]\n\
-         ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality\n\
+         ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality\n\
               ablation-lazy ablation-term ablation-singleton ablation-opim\n\
               quality scalability all"
     );

@@ -211,10 +211,27 @@ pub fn lt_quality(opts: Opts) {
     );
 }
 
+/// `tic-quality`: the Fig. 2/3-style revenue and seeding-cost sweep under
+/// the **lazy-mixing TIC** model — the paper's actual topical setting run
+/// end-to-end without per-ad flattening. Flixster-like uses the topical
+/// L = 10 table with five purely-competing ad pairs; Epinions-like runs
+/// Weighted Cascade as the L = 1 degenerate TIC. TI-CSRM vs TI-CARM.
+pub fn tic_quality(opts: Opts) {
+    quality_sweep(
+        opts,
+        "tic-quality",
+        ("ticq_revenue_vs_alpha", "ticq_seeding_cost_vs_alpha"),
+        setup::QualityContext::new_tic,
+        &[AlgorithmKind::TiCsrm, AlgorithmKind::TiCarm],
+        0x71C,
+    );
+}
+
 /// The shared Fig. 2/3-shaped sweep: incentive models × α grid × datasets
 /// × algorithms, one engine run per cell, scored on an independent sample,
 /// reported as paired revenue/seeding-cost tables. `ctx_new` fixes the
-/// diffusion family (IC for fig2/3, LT for `lt-quality`).
+/// diffusion family (IC for fig2/3, LT for `lt-quality`, lazy-mixing TIC
+/// for `tic-quality`).
 fn quality_sweep(
     opts: Opts,
     tag: &str,

@@ -121,6 +121,8 @@ pub struct QualityContext {
     ad_probs: Vec<rm_diffusion::AdProbs>,
     sigma: Vec<Arc<Vec<f64>>>,
     diffusion: rm_diffusion::DiffusionKind,
+    /// Shared per-topic table of a TIC context (`None` for IC/LT).
+    tic: Option<Arc<TicModel>>,
 }
 
 impl QualityContext {
@@ -139,6 +141,14 @@ impl QualityContext {
         Self::from_probe(ds, probe)
     }
 
+    /// Builds the **lazy-mixing TIC** context: the paper's actual topical
+    /// setting end-to-end — one shared per-topic table, per-ad mixtures,
+    /// no flattened per-ad probability arrays anywhere in the pipeline.
+    pub fn new_tic(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
+        let probe = tic_quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
+        Self::from_probe(ds, probe)
+    }
+
     fn from_probe(ds: SyntheticDataset, probe: RmInstance) -> Self {
         QualityContext {
             dataset: ds,
@@ -147,18 +157,27 @@ impl QualityContext {
             ad_probs: probe.ad_probs.clone(),
             sigma: probe.singleton_spreads.clone(),
             diffusion: probe.diffusion,
+            tic: probe.tic.clone(),
         }
     }
 
     /// Instantiates the context under a concrete incentive model (cheap).
     pub fn instance(&self, model: IncentiveModel) -> RmInstance {
         let incentives = self.sigma.iter().map(|s| model.schedule(s)).collect();
-        let mut inst = RmInstance::with_explicit_incentives(
-            self.graph.clone(),
-            self.ads.clone(),
-            self.ad_probs.clone(),
-            incentives,
-        );
+        let mut inst = match &self.tic {
+            Some(tic) => RmInstance::with_topics(
+                self.graph.clone(),
+                Arc::clone(tic),
+                self.ads.clone(),
+                incentives,
+            ),
+            None => RmInstance::with_explicit_incentives(
+                self.graph.clone(),
+                self.ads.clone(),
+                self.ad_probs.clone(),
+                incentives,
+            ),
+        };
         inst.singleton_spreads = self.sigma.clone();
         // The cached parameters were already normalized by the probe's
         // builder, so set the kind directly — no re-scan needed.
@@ -210,6 +229,62 @@ pub fn quality_instance(
                 model,
                 SingletonMethod::RrEstimate { theta: n_sets },
                 seed ^ 0xE414,
+            )
+        }
+    }
+}
+
+/// Builds a **lazy-mixing TIC** quality-experiment instance (the
+/// `tic-quality` artifact): the same §5 protocol as [`quality_instance`]
+/// — topical L = 10 table with purely-competing ad pairs on the
+/// Flixster-like analogue, Weighted Cascade (L = 1) on Epinions-like,
+/// Table 2 budgets/CPEs, RR-estimated singleton pricing — but built with
+/// [`RmInstance::build_tic`], so probabilities are mixed per-edge at sample
+/// time and no ad ever materializes a flat probability vector.
+pub fn tic_quality_instance(
+    ds: SyntheticDataset,
+    model: IncentiveModel,
+    h: usize,
+    scale: f64,
+    seed: u64,
+) -> RmInstance {
+    let graph = Arc::new(ds.generate(scale, seed));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x71C_01C);
+    let n_sets = (graph.num_nodes() * 40).clamp(20_000, 400_000);
+    match ds {
+        SyntheticDataset::FlixsterLike => {
+            let l = 10;
+            let tic = Arc::new(TicModel::topical(&graph, l, Default::default(), &mut rng));
+            let topics = TopicDistribution::competition_pairs(h, l, 0.91, &mut rng);
+            let ads = topics
+                .into_iter()
+                .zip(table2_terms(ds, h, scale))
+                .map(|(t, (cpe, budget))| Advertiser::new(cpe, budget, t))
+                .collect();
+            RmInstance::build_tic(
+                graph,
+                tic,
+                ads,
+                model,
+                SingletonMethod::RrEstimate { theta: n_sets },
+                seed ^ 0x71CA,
+            )
+        }
+        _ => {
+            // Footnote-7 degeneracy: WC is the L = 1 TIC model, still run
+            // through the lazy-mixing pipeline end-to-end.
+            let tic = Arc::new(TicModel::weighted_cascade(&graph));
+            let ads = table2_terms(ds, h, scale)
+                .into_iter()
+                .map(|(cpe, budget)| Advertiser::new(cpe, budget, TopicDistribution::uniform(1)))
+                .collect();
+            RmInstance::build_tic(
+                graph,
+                tic,
+                ads,
+                model,
+                SingletonMethod::RrEstimate { theta: n_sets },
+                seed ^ 0x71CE,
             )
         }
     }
@@ -389,6 +464,26 @@ mod tests {
         for probs in &inst.ad_probs {
             assert!(rm_diffusion::lt_weights_feasible(&inst.graph, probs));
         }
+    }
+
+    #[test]
+    fn tic_context_instances_stay_lazy() {
+        let ds = SyntheticDataset::FlixsterLike;
+        let ctx = QualityContext::new_tic(ds, 4, 0.005, 2);
+        let inst = ctx.instance(IncentiveModel::Linear { alpha: 0.3 });
+        assert_eq!(inst.num_ads(), 4);
+        assert_eq!(
+            inst.diffusion,
+            rm_diffusion::DiffusionKind::TopicAwareCascade
+        );
+        // The defining property of the artifact: no flattened per-ad probs.
+        assert!(inst.ad_probs.is_empty());
+        let tic = inst.tic.as_ref().expect("TIC instance carries its table");
+        assert_eq!(tic.num_topics(), 10);
+        assert_eq!(
+            inst.model(0).kind(),
+            rm_diffusion::DiffusionKind::TopicAwareCascade
+        );
     }
 
     #[test]

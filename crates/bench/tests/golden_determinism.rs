@@ -142,6 +142,46 @@ fn fig5_table3_quick_match_pinned_goldens_modulo_volatile_columns() {
 #[test]
 #[cfg_attr(
     debug_assertions,
+    ignore = "runs the quick TIC quality sweep twice; exercised in the release statistical CI job"
+)]
+fn tic_quality_quick_matches_pinned_goldens_modulo_volatile_columns() {
+    // The lazy-mixing TIC artifact gate: `tic-quality --quick --scale
+    // 0.005` must reproduce its pinned revenue/seeding-cost CSVs exactly
+    // (modulo wall time) — KPT pilots, stopping rules, per-edge mixture
+    // draws and evaluation all run through the TIC sampler, so a diff here
+    // means the TIC pipeline's arithmetic moved.
+    let opts = Opts {
+        quick: true,
+        scale: 0.005,
+        ..Default::default()
+    };
+    experiments::tic_quality(opts);
+    let rev = strip_columns(&read_artifact("ticq_revenue_vs_alpha"), &["time_s"]);
+    let cost = strip_columns(&read_artifact("ticq_seeding_cost_vs_alpha"), &["time_s"]);
+
+    // Determinism across runs first.
+    experiments::tic_quality(opts);
+    assert_eq!(
+        rev,
+        strip_columns(&read_artifact("ticq_revenue_vs_alpha"), &["time_s"]),
+        "tic-quality revenue CSV drifted between runs"
+    );
+
+    assert_eq!(
+        rev,
+        include_str!("golden/ticq_revenue_vs_alpha.stripped.csv"),
+        "tic-quality revenue deviates from the pinned golden — re-pin only for an intentional change"
+    );
+    assert_eq!(
+        cost,
+        include_str!("golden/ticq_seeding_cost_vs_alpha.stripped.csv"),
+        "tic-quality seeding-cost deviates from the pinned golden — re-pin only for an intentional change"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
     ignore = "runs the full quick scalability sweep twice; exercised in the release statistical CI job"
 )]
 fn fig5_table3_parallel_selection_matches_sequential_goldens() {

@@ -6,26 +6,49 @@
 //! [`crate::TiEngine`] with the corresponding [`crate::AlgorithmKind`]. This
 //! module computes the per-ad orderings.
 
+use rm_diffusion::DiffusionKind;
 use rm_graph::pagerank::pagerank_order;
 use rm_graph::{NodeId, PageRankConfig};
 
 use crate::instance::RmInstance;
 
 /// Ad-specific PageRank orderings (descending score). Ads sharing
-/// probability storage (single-topic models) share one ordering computation.
+/// probability storage (single-topic models) share one ordering computation;
+/// TIC ads flatten their mixture transiently for the walk and dedupe on
+/// topic-distribution equality instead.
 pub fn pagerank_orders(inst: &RmInstance) -> Vec<Vec<NodeId>> {
     let cfg = PageRankConfig::default();
+    let tic_mode = inst.diffusion == DiffusionKind::TopicAwareCascade;
+    let single_topic = tic_mode && inst.tic.as_ref().is_some_and(|t| t.num_topics() == 1);
     let mut orders: Vec<Vec<NodeId>> = Vec::with_capacity(inst.num_ads());
     for i in 0..inst.num_ads() {
-        if let Some(prev) = (0..i).find(|&j| inst.ad_probs[i].shares_storage(&inst.ad_probs[j])) {
+        let twin = (0..i).find(|&j| {
+            if tic_mode {
+                single_topic || inst.ads[j].topic == inst.ads[i].topic
+            } else {
+                inst.ad_probs[i].shares_storage(&inst.ad_probs[j])
+            }
+        });
+        if let Some(prev) = twin {
             orders.push(orders[prev].clone());
             continue;
         }
-        orders.push(pagerank_order(
-            &inst.graph,
-            cfg,
-            Some(inst.ad_probs[i].as_slice()),
-        ));
+        if tic_mode {
+            // Transient Eq. 1 flatten: dropped as soon as the walk is done,
+            // so TIC memory still does not scale with the number of ads.
+            let probs = inst
+                .tic
+                .as_ref()
+                .expect("TIC instance must carry its shared TicModel")
+                .ad_probs(&inst.ads[i].topic);
+            orders.push(pagerank_order(&inst.graph, cfg, Some(probs.as_slice())));
+        } else {
+            orders.push(pagerank_order(
+                &inst.graph,
+                cfg,
+                Some(inst.ad_probs[i].as_slice()),
+            ));
+        }
     }
     orders
 }
@@ -64,5 +87,38 @@ mod tests {
         let mut sorted = orders[0].clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tic_orders_follow_each_ads_mixture() {
+        // Two topics pulling opposite ways: topic 0 feeds node 0, topic 1
+        // feeds node 4. Delta-mixture ads must get different orderings.
+        let g = Arc::new(graph_from_edges(
+            5,
+            &[(1, 0), (2, 0), (3, 0), (1, 4), (2, 4), (3, 4)],
+        ));
+        let mut probs = vec![0.0f32; g.num_edges() * 2];
+        for (eid, _u, v) in g.edges() {
+            let z = if v == 0 { 0 } else { 1 };
+            probs[eid as usize * 2 + z] = 0.9;
+        }
+        let tic = Arc::new(TicModel::from_matrix(&g, 2, probs));
+        let ads = vec![
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 0)),
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 1)),
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 0)),
+        ];
+        let inst = RmInstance::build_tic(
+            g,
+            tic,
+            ads,
+            IncentiveModel::Linear { alpha: 0.1 },
+            SingletonMethod::OutDegree,
+            5,
+        );
+        let orders = pagerank_orders(&inst);
+        assert_eq!(orders[0][0], 0, "topic-0 ad ranks the topic-0 sink first");
+        assert_eq!(orders[1][0], 4, "topic-1 ad ranks the topic-1 sink first");
+        assert_eq!(orders[0], orders[2], "equal mixtures share one ordering");
     }
 }

@@ -11,11 +11,15 @@ use crate::incentives::{IncentiveModel, IncentiveSchedule, SingletonMethod};
 
 /// A complete instance of Problem 1 (REVENUE-MAXIMIZATION).
 ///
-/// Construction flattens the TIC model into per-ad edge probabilities
+/// IC/LT construction flattens the TIC model into per-ad edge probabilities
 /// (Eq. 1) and prices every node's incentive for every ad from its singleton
 /// spread. The per-ad edge parameters are interpreted according to
-/// [`RmInstance::diffusion`]: IC firing probabilities (the paper's setting)
-/// or LT in-weights (the classic Linear Threshold workload family).
+/// [`RmInstance::diffusion`]: IC firing probabilities (the flattened
+/// approximation of the paper's setting) or LT in-weights (the classic
+/// Linear Threshold workload family). True topic-aware instances
+/// ([`RmInstance::build_tic`]) instead keep **one** shared [`TicModel`]
+/// and mix each ad's probabilities lazily — `ad_probs` stays empty and
+/// memory does not scale with the number of ads.
 #[derive(Clone)]
 pub struct RmInstance {
     /// The social graph (arc `(u, v)`: `v` follows `u`).
@@ -24,7 +28,9 @@ pub struct RmInstance {
     pub ads: Vec<Advertiser>,
     /// Flattened ad-specific edge parameters, one per ad (IC probabilities
     /// or LT in-weights, per [`Self::diffusion`]). LT instances hold
-    /// in-weights already water-filled into feasibility.
+    /// in-weights already water-filled into feasibility. **Empty for TIC
+    /// instances** — the whole point of lazy mixing is that no per-ad flat
+    /// array exists; go through [`Self::model`].
     pub ad_probs: Vec<AdProbs>,
     /// Per-ad incentive schedules `c_i(·)`.
     pub incentives: Vec<IncentiveSchedule>,
@@ -32,6 +38,10 @@ pub struct RmInstance {
     pub singleton_spreads: Vec<Arc<Vec<f64>>>,
     /// Which diffusion family the edge parameters describe.
     pub diffusion: DiffusionKind,
+    /// The shared per-topic table of a TIC instance (`None` for IC/LT).
+    /// Every ad's [`Self::model`] holds this same `Arc`; the per-ad state
+    /// is just the advertiser's topic mixture.
+    pub tic: Option<Arc<TicModel>>,
 }
 
 impl RmInstance {
@@ -94,6 +104,10 @@ impl RmInstance {
         seed: u64,
         diffusion: DiffusionKind,
     ) -> Self {
+        assert!(
+            diffusion != DiffusionKind::TopicAwareCascade,
+            "TIC instances are built without flattening; use build_tic"
+        );
         assert!(!ads.is_empty(), "need at least one advertiser");
         assert!(
             ads.iter().all(|a| a.topic.num_topics() == tic.num_topics()),
@@ -117,6 +131,7 @@ impl RmInstance {
                         DiffusionKind::LinearThreshold => {
                             rm_diffusion::normalize_lt_weights(&graph, &raw)
                         }
+                        DiffusionKind::TopicAwareCascade => unreachable!(),
                     });
                 }
             }
@@ -135,6 +150,7 @@ impl RmInstance {
                         DiffusionKind::LinearThreshold => {
                             DiffusionModel::lt_prenormalized(&graph, probs.clone())
                         }
+                        DiffusionKind::TopicAwareCascade => unreachable!(),
                     };
                     let sigma = method.singleton_spreads_model(
                         &graph,
@@ -158,6 +174,68 @@ impl RmInstance {
             incentives,
             singleton_spreads,
             diffusion,
+            tic: None,
+        }
+    }
+
+    /// Builds a **Topic-aware IC** instance: the paper's actual setting,
+    /// end-to-end. Unlike [`Self::build`], nothing is flattened — the
+    /// instance keeps the shared per-topic table and each ad's topic
+    /// mixture, and every downstream consumer (pricing here, the RR
+    /// samplers and the engine later) mixes `p^γ = Σ_z γ_z p^z` lazily.
+    /// `ad_probs` is left empty by design; memory is one table + `h`
+    /// mixtures. Deterministic in `seed`.
+    ///
+    /// Ads sharing a topic distribution share their pricing sample, exactly
+    /// as storage-sharing twins do under [`Self::build`].
+    pub fn build_tic(
+        graph: Arc<CsrGraph>,
+        tic: Arc<TicModel>,
+        ads: Vec<Advertiser>,
+        model: IncentiveModel,
+        method: SingletonMethod,
+        seed: u64,
+    ) -> Self {
+        assert!(!ads.is_empty(), "need at least one advertiser");
+        assert!(
+            ads.iter().all(|a| a.topic.num_topics() == tic.num_topics()),
+            "ad topic dimension must match the TIC model"
+        );
+        let single_topic = tic.num_topics() == 1;
+        let mut singleton_spreads: Vec<Arc<Vec<f64>>> = Vec::with_capacity(ads.len());
+        for (i, ad) in ads.iter().enumerate() {
+            // Equal mixtures ⇒ equal mixed probabilities ⇒ one shared
+            // pricing sample (the twin rule of `build`, keyed on the topic
+            // distribution because no probability storage exists to key on).
+            let twin = (0..i).find(|&j| single_topic || ads[j].topic == ad.topic);
+            match twin {
+                Some(j) => {
+                    let shared = singleton_spreads[j].clone();
+                    singleton_spreads.push(shared);
+                }
+                None => {
+                    let m = DiffusionModel::tic(Arc::clone(&tic), ad.topic.clone());
+                    let sigma = method.singleton_spreads_model(
+                        &graph,
+                        &m,
+                        seed ^ ((i as u64) << 40) ^ 0xA11C,
+                    );
+                    singleton_spreads.push(Arc::new(sigma));
+                }
+            }
+        }
+        let incentives = singleton_spreads
+            .iter()
+            .map(|sigma| model.schedule(sigma))
+            .collect();
+        RmInstance {
+            graph,
+            ads,
+            ad_probs: Vec::new(),
+            incentives,
+            singleton_spreads,
+            diffusion: DiffusionKind::TopicAwareCascade,
+            tic: Some(tic),
         }
     }
 
@@ -182,6 +260,36 @@ impl RmInstance {
             incentives,
             singleton_spreads,
             diffusion: DiffusionKind::IndependentCascade,
+            tic: None,
+        }
+    }
+
+    /// Builds a TIC instance with explicit per-ad incentive schedules (the
+    /// TIC analogue of [`Self::with_explicit_incentives`], used by the
+    /// experiment harness to sweep incentive models over one cached probe).
+    pub fn with_topics(
+        graph: Arc<CsrGraph>,
+        tic: Arc<TicModel>,
+        ads: Vec<Advertiser>,
+        incentives: Vec<IncentiveSchedule>,
+    ) -> Self {
+        let h = ads.len();
+        assert!(h > 0 && incentives.len() == h);
+        assert!(incentives.iter().all(|s| s.len() == graph.num_nodes()));
+        assert!(
+            ads.iter().all(|a| a.topic.num_topics() == tic.num_topics()),
+            "ad topic dimension must match the TIC model"
+        );
+        let zeros = Arc::new(vec![0.0; graph.num_nodes()]);
+        let singleton_spreads = (0..h).map(|_| Arc::clone(&zeros)).collect();
+        RmInstance {
+            graph,
+            ads,
+            ad_probs: Vec::new(),
+            incentives,
+            singleton_spreads,
+            diffusion: DiffusionKind::TopicAwareCascade,
+            tic: Some(tic),
         }
     }
 
@@ -197,7 +305,21 @@ impl RmInstance {
     /// schedule). Calling this on an instance priced under the other model
     /// leaves incentives inconsistent with the spreads the engine
     /// optimizes — use [`Self::build_lt`] when pricing has to change too.
+    ///
+    /// TIC instances cannot be reinterpreted (they have no flat per-ad
+    /// parameters to relabel), and nothing can be reinterpreted *as* TIC
+    /// (a shared topic table cannot be conjured from flat vectors); both
+    /// directions panic.
     pub fn with_diffusion(mut self, kind: DiffusionKind) -> Self {
+        if kind == self.diffusion {
+            return self;
+        }
+        assert!(
+            self.diffusion != DiffusionKind::TopicAwareCascade
+                && kind != DiffusionKind::TopicAwareCascade,
+            "TIC instances mix lazily and have no flat edge parameters to \
+             reinterpret; build them with build_tic/with_topics"
+        );
         if kind == DiffusionKind::LinearThreshold {
             let normalized: Vec<AdProbs> = {
                 let mut out: Vec<AdProbs> = Vec::with_capacity(self.ad_probs.len());
@@ -215,13 +337,21 @@ impl RmInstance {
         self
     }
 
-    /// The diffusion model of ad `i` (cheap: parameter storage is shared).
+    /// The diffusion model of ad `i` (cheap: parameter storage is shared —
+    /// an `Arc` bump for IC/LT vectors and for the TIC table).
     pub fn model(&self, i: usize) -> DiffusionModel {
         match self.diffusion {
             DiffusionKind::IndependentCascade => DiffusionModel::ic(self.ad_probs[i].clone()),
             // Instance construction already water-filled the weights.
             DiffusionKind::LinearThreshold => {
                 DiffusionModel::lt_prenormalized(&self.graph, self.ad_probs[i].clone())
+            }
+            DiffusionKind::TopicAwareCascade => {
+                let tic = self
+                    .tic
+                    .as_ref()
+                    .expect("TIC instance must carry its shared TicModel");
+                DiffusionModel::tic(Arc::clone(tic), self.ads[i].topic.clone())
             }
         }
     }
@@ -242,23 +372,33 @@ impl RmInstance {
     ///
     /// # Panics
     /// Panics if the graph is too large for enumeration (> 20 edges or > 16
-    /// nodes), or if the instance is not Independent Cascade (possible-world
-    /// enumeration over independent edges is IC-specific).
+    /// nodes), or if the instance is Linear Threshold (possible-world
+    /// enumeration over independent edges covers IC and TIC — a TIC ad is
+    /// exactly IC under its Eq. 1 mixed probabilities — but not LT).
     pub fn to_exact_problem(&self) -> rm_submod::RmProblem {
         let n = self.num_nodes();
         assert!(
             n <= 16 && self.graph.num_edges() <= 20,
             "exact conversion is for gadgets"
         );
-        assert_eq!(
-            self.diffusion,
-            DiffusionKind::IndependentCascade,
-            "exact world enumeration is IC-specific"
+        assert!(
+            self.diffusion != DiffusionKind::LinearThreshold,
+            "exact world enumeration over independent edges is IC/TIC-specific"
         );
         let revenue: Vec<rm_submod::problem::RevenueFn> = (0..self.num_ads())
             .map(|i| {
                 let g = self.graph.clone();
-                let probs = self.ad_probs[i].clone();
+                // For a gadget-sized TIC ad the transient flatten is the
+                // exact semantics: conditioned on the ad, TIC *is* IC under
+                // the mixed probabilities.
+                let probs = match self.diffusion {
+                    DiffusionKind::TopicAwareCascade => self
+                        .tic
+                        .as_ref()
+                        .expect("TIC instance must carry its shared TicModel")
+                        .ad_probs(&self.ads[i].topic),
+                    _ => self.ad_probs[i].clone(),
+                };
                 let cpe = self.ads[i].cpe;
                 let table = rm_submod::function::TableFunction::tabulate(n, |mask| {
                     if mask == 0 {
@@ -363,6 +503,77 @@ mod tests {
         ));
         // Twin ads still share (normalized) storage.
         assert!(lt.ad_probs[0].shares_storage(&lt.ad_probs[1]));
+    }
+
+    /// Two-topic chain where topic 0 fires edges with certainty and topic 1
+    /// never does — mixtures then interpolate singleton spreads exactly.
+    fn two_topic_parts() -> (Arc<CsrGraph>, Arc<TicModel>) {
+        let g = Arc::new(graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let probs = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let tic = Arc::new(TicModel::from_matrix(&g, 2, probs));
+        (g, tic)
+    }
+
+    #[test]
+    fn build_tic_prices_per_mixture_without_flattening() {
+        let (g, tic) = two_topic_parts();
+        let ads = vec![
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 0)),
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 1)),
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 0)),
+        ];
+        let inst = RmInstance::build_tic(
+            g,
+            Arc::clone(&tic),
+            ads,
+            IncentiveModel::Linear { alpha: 0.1 },
+            SingletonMethod::MonteCarlo { runs: 60 },
+            9,
+        );
+        assert_eq!(inst.diffusion, DiffusionKind::TopicAwareCascade);
+        // The whole point: no per-ad flat probability arrays.
+        assert!(inst.ad_probs.is_empty());
+        assert!(Arc::ptr_eq(inst.tic.as_ref().unwrap(), &tic));
+        // Ad 0 sees p = 1 everywhere: σ({0}) = 4. Ad 1 sees p = 0: σ = 1.
+        assert!((inst.singleton_spreads[0][0] - 4.0).abs() < 1e-9);
+        assert!((inst.singleton_spreads[1][0] - 1.0).abs() < 1e-9);
+        // Identical mixtures share the pricing sample.
+        assert!(Arc::ptr_eq(
+            &inst.singleton_spreads[0],
+            &inst.singleton_spreads[2]
+        ));
+        assert_eq!(inst.model(1).kind(), DiffusionKind::TopicAwareCascade);
+    }
+
+    #[test]
+    fn tic_exact_problem_flattens_per_ad() {
+        let (g, tic) = two_topic_parts();
+        let n = g.num_nodes();
+        let ads = vec![
+            Advertiser::new(2.0, 100.0, TopicDistribution::delta(2, 0)),
+            Advertiser::new(1.0, 100.0, TopicDistribution::delta(2, 1)),
+        ];
+        let incentives = (0..2)
+            .map(|_| IncentiveSchedule::new(vec![0.5; n]))
+            .collect();
+        let inst = RmInstance::with_topics(g, tic, ads, incentives);
+        assert!(inst.ad_probs.is_empty());
+        let p = inst.to_exact_problem();
+        let s = rm_submod::BitSet::from_iter(n, [0]);
+        // Ad 0: cpe 2 × full-chain spread 4; ad 1: cpe 1 × isolated seed.
+        assert!((p.revenue_of(0, &s) - 8.0).abs() < 1e-9);
+        assert!((p.revenue_of(1, &s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no flat edge parameters")]
+    fn tic_instances_refuse_reinterpretation() {
+        let (g, tic) = two_topic_parts();
+        let n = g.num_nodes();
+        let ads = vec![Advertiser::new(1.0, 10.0, TopicDistribution::uniform(2))];
+        let incentives = vec![IncentiveSchedule::new(vec![0.1; n])];
+        let _ = RmInstance::with_topics(g, tic, ads, incentives)
+            .with_diffusion(DiffusionKind::IndependentCascade);
     }
 
     #[test]

@@ -126,6 +126,9 @@ impl<'a> TiEngine<'a> {
         stats.latent_size_per_ad = vec![0; h];
         stats.revenue_per_ad = vec![0.0; h];
         stats.seeding_cost_per_ad = vec![0.0; h];
+        // TIC samplers share one per-topic table across all h ads; count it
+        // once (the max, in case some ads carry no table) rather than per ad.
+        let mut shared_table_bytes = 0usize;
         for (i, mut st) in ads.into_iter().enumerate() {
             stats.seeds_per_ad[i] = st.seeds.len();
             stats.theta_per_ad[i] = st.theta;
@@ -137,6 +140,7 @@ impl<'a> TiEngine<'a> {
             // compact before reading the footprint.
             st.cov.compact();
             stats.rr_memory_bytes += st.cov.memory_bytes() + st.sampler.memory_bytes();
+            shared_table_bytes = shared_table_bytes.max(st.sampler.shared_table_bytes());
             if let Some(op) = st.opim.as_mut() {
                 op.val_cov.compact();
                 stats.rr_memory_bytes += op.val_cov.memory_bytes();
@@ -146,6 +150,7 @@ impl<'a> TiEngine<'a> {
             stats.sample_capped |= st.capped;
             alloc.seeds[i] = st.seeds;
         }
+        stats.rr_memory_bytes += shared_table_bytes;
         stats.elapsed = start.elapsed();
         (alloc, stats)
     }

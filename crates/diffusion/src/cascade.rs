@@ -8,7 +8,8 @@ use rand::Rng;
 
 use rm_graph::{CsrGraph, NodeId};
 
-use crate::tic::AdProbs;
+use crate::tic::{AdProbs, TicModel};
+use crate::topic::TopicDistribution;
 
 /// Reusable scratch space for cascade simulations. The visited array uses
 /// epoch stamping so consecutive simulations cost O(activated), not O(n).
@@ -99,6 +100,58 @@ pub fn simulate_cascade_nodes<R: Rng + ?Sized>(
     ws.queue.clone()
 }
 
+/// Runs one TIC cascade from `seeds`, mixing each edge's per-topic
+/// probabilities with `gamma` **at traversal time** (Eq. 1) instead of
+/// requiring a flattened per-ad probability array. Draws the RNG in exactly
+/// the pattern of [`simulate_cascade`] over `tic.ad_probs(gamma)` — mixed
+/// probabilities are bit-identical (see [`TicModel::mixed_prob`]) — so both
+/// paths produce the same cascade from the same RNG state.
+pub fn simulate_tic_cascade<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    tic: &TicModel,
+    gamma: &TopicDistribution,
+    seeds: &[NodeId],
+    ws: &mut CascadeWorkspace,
+    rng: &mut R,
+) -> usize {
+    ws.begin();
+    for &s in seeds {
+        if ws.visit(s) {
+            ws.queue.push(s);
+        }
+    }
+    let mut qi = 0;
+    while qi < ws.queue.len() {
+        let u = ws.queue[qi];
+        qi += 1;
+        let epoch = ws.epoch;
+        for (eid, v) in g.out_edges(u) {
+            if ws.mark[v as usize] == epoch {
+                continue;
+            }
+            let p = tic.mixed_prob(eid, gamma);
+            if p > 0.0 && rng.random::<f32>() < p {
+                ws.mark[v as usize] = epoch;
+                ws.queue.push(v);
+            }
+        }
+    }
+    ws.queue.len()
+}
+
+/// Like [`simulate_tic_cascade`] but returns the activated node set.
+pub fn simulate_tic_cascade_nodes<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    tic: &TicModel,
+    gamma: &TopicDistribution,
+    seeds: &[NodeId],
+    ws: &mut CascadeWorkspace,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    simulate_tic_cascade(g, tic, gamma, seeds, ws, rng);
+    ws.queue.clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +199,38 @@ mod tests {
             let nodes = simulate_cascade_nodes(&g, &probs, &[0], &mut ws, &mut rng);
             assert!(nodes.contains(&0));
             assert!(nodes.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn tic_lazy_mixing_matches_flattened_simulation() {
+        // Same RNG stream, same cascades: the lazy-mix TIC simulator must be
+        // a drop-in for `simulate_cascade` over `ad_probs(gamma)`.
+        use crate::topic::TopicDistribution;
+        use crate::TicModel;
+        let g = graph_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)]);
+        let probs: Vec<f32> = (0..g.num_edges())
+            .flat_map(|e| [0.9 / (e + 1) as f32, 0.2, 0.05 * e as f32])
+            .collect();
+        let tic = TicModel::from_matrix(&g, 3, probs);
+        for gamma in [
+            TopicDistribution::uniform(3),
+            TopicDistribution::delta(3, 1),
+            TopicDistribution::new(&[0.6, 0.1, 0.3]),
+        ] {
+            let flat = tic.ad_probs(&gamma);
+            let mut ws_a = CascadeWorkspace::new(6);
+            let mut ws_b = CascadeWorkspace::new(6);
+            let mut rng_a = SmallRng::seed_from_u64(99);
+            let mut rng_b = SmallRng::seed_from_u64(99);
+            for _ in 0..200 {
+                let mut a = simulate_tic_cascade(&g, &tic, &gamma, &[0], &mut ws_a, &mut rng_a);
+                let mut b = simulate_cascade(&g, &flat, &[0], &mut ws_b, &mut rng_b);
+                assert_eq!(a, b);
+                a = simulate_tic_cascade_nodes(&g, &tic, &gamma, &[2], &mut ws_a, &mut rng_a).len();
+                b = simulate_cascade_nodes(&g, &flat, &[2], &mut ws_b, &mut rng_b).len();
+                assert_eq!(a, b);
+            }
         }
     }
 

@@ -19,8 +19,12 @@
 //! constructors build such single-topic instances.
 //!
 //! Beyond the paper, [`model::DiffusionModel`] abstracts the propagation
-//! family itself (Independent Cascade vs Linear Threshold), so the RR-set
-//! machinery, pricing, and the scalable engine are model-generic.
+//! family itself (Independent Cascade vs Linear Threshold vs lazy-mixing
+//! TIC), so the RR-set machinery, pricing, and the scalable engine are
+//! model-generic. The [`DiffusionModel::Tic`] variant keeps **one** shared
+//! per-topic table ([`TicModel`], in-slot-gathered as [`TicInSlots`]) and
+//! mixes each ad's probabilities at sample time, so per-ad memory is a
+//! topic mixture, not an edge array.
 
 pub mod cascade;
 pub mod lt;
@@ -30,12 +34,12 @@ pub mod tic;
 pub mod topic;
 pub mod world;
 
-pub use cascade::{simulate_cascade, CascadeWorkspace};
+pub use cascade::{simulate_cascade, simulate_tic_cascade, CascadeWorkspace};
 pub use lt::{
     estimate_lt_spread, lt_weights_feasible, normalize_lt_weights, sample_lt_rr_set,
     simulate_lt_cascade, LtWorkspace,
 };
 pub use model::{DiffusionKind, DiffusionModel, ModelWorkspace};
 pub use spread::{estimate_spread, singleton_spreads_mc, SpreadEstimate};
-pub use tic::{AdProbs, TicModel, TopicalConfig};
+pub use tic::{AdProbs, TicInSlots, TicModel, TopicalConfig};
 pub use topic::TopicDistribution;

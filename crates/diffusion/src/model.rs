@@ -17,30 +17,46 @@
 //!   each node picking **at most one** incoming edge (edge `e` with
 //!   probability `w_e`), so the RR dual is a reverse walk choosing one live
 //!   in-edge per node.
+//! * **Topic-aware Independent Cascade** ([`DiffusionModel::Tic`]): the
+//!   paper's actual model. One shared per-topic edge table (`TicModel`)
+//!   plus a per-ad topic mixture `γ`; the ad-specific probability
+//!   `p^γ_{uv} = Σ_z γ_z · p^z_{uv}` (Eq. 1) is mixed **lazily** at
+//!   traversal/sample time, so memory stays independent of the number of
+//!   advertisers. The RR dual is IC's with the mixed probability.
 //!
 //! Future triggering-model variants (continuous-time, topic-LT, decay) slot
 //! in as further arms of this enum plus a sampling mode in
 //! `rm_rrsets::sampler`, instead of another sampler fork.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
 use rm_graph::{CsrGraph, NodeId};
 
-use crate::cascade::{simulate_cascade, simulate_cascade_nodes, CascadeWorkspace};
+use crate::cascade::{
+    simulate_cascade, simulate_cascade_nodes, simulate_tic_cascade, simulate_tic_cascade_nodes,
+    CascadeWorkspace,
+};
 use crate::lt::{
     lt_weights_feasible, normalize_lt_weights, simulate_lt_cascade, simulate_lt_cascade_nodes,
     singleton_spreads_lt_mc, LtWorkspace,
 };
 use crate::spread::{estimate_spread, singleton_spreads_mc};
-use crate::tic::AdProbs;
+use crate::tic::{AdProbs, TicModel};
+use crate::topic::TopicDistribution;
 
 /// The model family, without its parameters (what `RmInstance` records).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DiffusionKind {
-    /// Independent Cascade (incl. its WC/TIC/trivalency constructions).
+    /// Independent Cascade (incl. its WC/trivalency constructions and
+    /// ahead-of-time-flattened TIC).
     IndependentCascade,
     /// Linear Threshold with per-edge in-weights.
     LinearThreshold,
+    /// Topic-aware Independent Cascade with lazily mixed per-ad
+    /// probabilities over a shared per-topic table.
+    TopicAwareCascade,
 }
 
 impl DiffusionKind {
@@ -49,6 +65,7 @@ impl DiffusionKind {
         match self {
             DiffusionKind::IndependentCascade => "IC",
             DiffusionKind::LinearThreshold => "LT",
+            DiffusionKind::TopicAwareCascade => "TIC",
         }
     }
 }
@@ -63,6 +80,18 @@ pub enum DiffusionModel {
     /// the in-weights sum to at most 1 ([`lt_weights_feasible`]); construct
     /// via [`DiffusionModel::lt`] to have infeasible weights water-filled.
     LinearThreshold(AdProbs),
+    /// Topic-aware Independent Cascade: one shared per-topic edge table
+    /// plus this ad's topic mixture. Edge probabilities are mixed lazily at
+    /// traversal/sample time (`p^γ_{uv} = Σ_z γ_z · p^z_{uv}`,
+    /// [`TicModel::mixed_prob`]) instead of materializing a flat per-ad
+    /// probability array, so `h` ads over the same `TicModel` cost `h`
+    /// mixtures, not `h` edge arrays.
+    Tic {
+        /// The shared per-topic edge-probability table.
+        tic: Arc<TicModel>,
+        /// This ad's topic mixture `γ`.
+        gamma: TopicDistribution,
+    },
 }
 
 impl DiffusionModel {
@@ -89,12 +118,35 @@ impl DiffusionModel {
         DiffusionModel::LinearThreshold(weights)
     }
 
+    /// A Topic-aware Independent Cascade model: the shared per-topic table
+    /// plus one ad's topic mixture, mixed lazily at traversal time.
+    ///
+    /// # Panics
+    /// Panics if the mixture's topic count differs from the table's.
+    pub fn tic(tic: Arc<TicModel>, gamma: TopicDistribution) -> Self {
+        assert_eq!(
+            gamma.num_topics(),
+            tic.num_topics(),
+            "ad topic count mismatch"
+        );
+        DiffusionModel::Tic { tic, gamma }
+    }
+
     /// Binds `params` to a model family: IC passes probabilities through,
     /// LT water-fills them into feasible in-weights.
+    ///
+    /// # Panics
+    /// Panics for [`DiffusionKind::TopicAwareCascade`]: a TIC model carries
+    /// a per-topic table and a mixture, not flat per-edge parameters —
+    /// construct it via [`DiffusionModel::tic`].
     pub fn from_kind(kind: DiffusionKind, g: &CsrGraph, params: AdProbs) -> Self {
         match kind {
             DiffusionKind::IndependentCascade => DiffusionModel::ic(params),
             DiffusionKind::LinearThreshold => DiffusionModel::lt(g, params),
+            DiffusionKind::TopicAwareCascade => panic!(
+                "TIC models are not defined by flat per-edge parameters; \
+                 construct via DiffusionModel::tic"
+            ),
         }
     }
 
@@ -103,21 +155,52 @@ impl DiffusionModel {
         match self {
             DiffusionModel::IndependentCascade(_) => DiffusionKind::IndependentCascade,
             DiffusionModel::LinearThreshold(_) => DiffusionKind::LinearThreshold,
+            DiffusionModel::Tic { .. } => DiffusionKind::TopicAwareCascade,
         }
     }
 
     /// The per-edge parameters (IC probabilities or LT in-weights), indexed
     /// by canonical edge id.
+    ///
+    /// # Panics
+    /// Panics for TIC models, which deliberately never materialize a flat
+    /// per-edge array — use [`Self::tic_parts`] (lazy mixing) or
+    /// [`Self::flatten_probs`] (explicit O(m) flattening) instead.
     pub fn params(&self) -> &AdProbs {
         match self {
             DiffusionModel::IndependentCascade(p) | DiffusionModel::LinearThreshold(p) => p,
+            DiffusionModel::Tic { .. } => panic!(
+                "TIC models mix probabilities lazily and have no flat params; \
+                 use tic_parts() or flatten_probs()"
+            ),
+        }
+    }
+
+    /// The shared table and mixture of a TIC model, `None` for IC/LT.
+    pub fn tic_parts(&self) -> Option<(&Arc<TicModel>, &TopicDistribution)> {
+        match self {
+            DiffusionModel::Tic { tic, gamma } => Some((tic, gamma)),
+            _ => None,
+        }
+    }
+
+    /// The per-edge parameters as an owned handle, flattening a TIC model's
+    /// mixture into a transient O(m) array (Eq. 1). IC/LT hand back their
+    /// shared storage without copying. Use only off the sampling path — the
+    /// point of the TIC variant is that samplers never need this array.
+    pub fn flatten_probs(&self) -> AdProbs {
+        match self {
+            DiffusionModel::IndependentCascade(p) | DiffusionModel::LinearThreshold(p) => p.clone(),
+            DiffusionModel::Tic { tic, gamma } => tic.ad_probs(gamma),
         }
     }
 
     /// A forward-simulation workspace matching this model's family.
     pub fn workspace(&self, n: usize) -> ModelWorkspace {
         match self {
-            DiffusionModel::IndependentCascade(_) => ModelWorkspace::Ic(CascadeWorkspace::new(n)),
+            DiffusionModel::IndependentCascade(_) | DiffusionModel::Tic { .. } => {
+                ModelWorkspace::Ic(CascadeWorkspace::new(n))
+            }
             DiffusionModel::LinearThreshold(_) => ModelWorkspace::Lt(LtWorkspace::new(n)),
         }
     }
@@ -144,6 +227,9 @@ impl DiffusionModel {
             DiffusionModel::LinearThreshold(w) => {
                 simulate_lt_cascade(g, w, seeds, ws.lt_mut(g.num_nodes()), rng)
             }
+            DiffusionModel::Tic { tic, gamma } => {
+                simulate_tic_cascade(g, tic, gamma, seeds, ws.ic_mut(g.num_nodes()), rng)
+            }
         }
     }
 
@@ -163,6 +249,9 @@ impl DiffusionModel {
             DiffusionModel::LinearThreshold(w) => {
                 simulate_lt_cascade_nodes(g, w, seeds, ws.lt_mut(g.num_nodes()), rng)
             }
+            DiffusionModel::Tic { tic, gamma } => {
+                simulate_tic_cascade_nodes(g, tic, gamma, seeds, ws.ic_mut(g.num_nodes()), rng)
+            }
         }
     }
 
@@ -176,6 +265,12 @@ impl DiffusionModel {
             DiffusionModel::LinearThreshold(w) => {
                 crate::lt::estimate_lt_spread(g, w, seeds, runs, seed)
             }
+            // One transient O(m) flatten per estimate call amortized over
+            // `runs` simulations; mixing is bit-identical to the lazy path
+            // (`TicModel::mixed_prob`), so the estimate distribution is too.
+            DiffusionModel::Tic { tic, gamma } => {
+                estimate_spread(g, &tic.ad_probs(gamma), seeds, runs, seed).spread
+            }
         }
     }
 
@@ -185,6 +280,9 @@ impl DiffusionModel {
         match self {
             DiffusionModel::IndependentCascade(p) => singleton_spreads_mc(g, p, runs, seed),
             DiffusionModel::LinearThreshold(w) => singleton_spreads_lt_mc(g, w, runs, seed),
+            DiffusionModel::Tic { tic, gamma } => {
+                singleton_spreads_mc(g, &tic.ad_probs(gamma), runs, seed)
+            }
         }
     }
 }
@@ -284,6 +382,64 @@ mod tests {
                 vec![4.0, 3.0, 2.0, 1.0]
             );
         }
+    }
+
+    #[test]
+    fn tic_variant_dispatches_and_matches_flat_ic() {
+        let g = chain();
+        let probs: Vec<f32> = (0..3).flat_map(|_| [0.9, 0.1]).collect();
+        let tic = Arc::new(TicModel::from_matrix(&g, 2, probs));
+        let gamma = TopicDistribution::new(&[0.7, 0.3]);
+        let model = DiffusionModel::tic(Arc::clone(&tic), gamma.clone());
+        assert_eq!(model.kind(), DiffusionKind::TopicAwareCascade);
+        assert_eq!(model.kind().name(), "TIC");
+        let (t, gm) = model.tic_parts().expect("TIC parts");
+        assert!(Arc::ptr_eq(t, &tic));
+        assert_eq!(gm, &gamma);
+
+        // Every estimator agrees with the flat-IC model over ad_probs.
+        let flat = DiffusionModel::ic(tic.ad_probs(&gamma));
+        assert!(flat.tic_parts().is_none());
+        assert_eq!(
+            model.estimate_spread(&g, &[0], 300, 17),
+            flat.estimate_spread(&g, &[0], 300, 17)
+        );
+        assert_eq!(
+            model.singleton_spreads_mc(&g, 50, 5),
+            flat.singleton_spreads_mc(&g, 50, 5)
+        );
+        let mut ws_a = model.workspace(4);
+        let mut ws_b = flat.workspace(4);
+        assert!(matches!(ws_a, ModelWorkspace::Ic(_)));
+        let mut rng_a = SmallRng::seed_from_u64(8);
+        let mut rng_b = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert_eq!(
+                model.simulate(&g, &[0], &mut ws_a, &mut rng_a),
+                flat.simulate(&g, &[0], &mut ws_b, &mut rng_b)
+            );
+        }
+        assert_eq!(
+            model.flatten_probs().as_slice(),
+            tic.ad_probs(&gamma).as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no flat params")]
+    fn tic_params_panics_with_guidance() {
+        let g = chain();
+        let tic = Arc::new(TicModel::uniform(&g, 0.5));
+        let model = DiffusionModel::tic(tic, TopicDistribution::uniform(1));
+        let _ = model.params();
+    }
+
+    #[test]
+    #[should_panic(expected = "topic count mismatch")]
+    fn tic_constructor_rejects_mismatched_mixture() {
+        let g = chain();
+        let tic = Arc::new(TicModel::uniform(&g, 0.5));
+        let _ = DiffusionModel::tic(tic, TopicDistribution::uniform(3));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The Topic-aware Independent Cascade model and ad-specific probability
 //! flattening (Eq. 1).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 
@@ -11,10 +11,19 @@ use crate::topic::TopicDistribution;
 
 /// Per-edge, per-topic influence probabilities: `p^z_{u,v}` stored edge-major
 /// (`probs[eid * L + z]`), indexed by canonical edge id.
+///
+/// One `TicModel` (behind an `Arc`) is shared by every advertiser of an
+/// instance; the per-ad mixtures are applied lazily (see
+/// [`TicModel::mixed_prob`] and the RR sampler's TIC mode), so memory does
+/// not scale with the number of ads.
 #[derive(Clone, Debug)]
 pub struct TicModel {
     l: usize,
     probs: Vec<f32>,
+    /// In-slot-gathered view for the reverse sampler, built at most once per
+    /// model (all per-ad samplers share it through the `Arc`). Cloning a
+    /// `TicModel` clones the cache handle, not the table.
+    in_slots: OnceLock<Arc<TicInSlots>>,
 }
 
 /// Configuration for the synthetic topical probability assignment used by the
@@ -54,7 +63,11 @@ impl TicModel {
             probs.iter().all(|&p| (0.0..=1.0).contains(&p)),
             "probabilities must lie in [0,1]"
         );
-        TicModel { l, probs }
+        TicModel {
+            l,
+            probs,
+            in_slots: OnceLock::new(),
+        }
     }
 
     /// Single-topic model with a uniform probability `p` on every edge.
@@ -77,7 +90,11 @@ impl TicModel {
                 probs[eid as usize] = p;
             }
         }
-        TicModel { l: 1, probs }
+        TicModel {
+            l: 1,
+            probs,
+            in_slots: OnceLock::new(),
+        }
     }
 
     /// Single-topic **trivalency** model: each edge uniformly one of
@@ -87,7 +104,11 @@ impl TicModel {
         let probs = (0..g.num_edges())
             .map(|_| LEVELS[rng.random_range(0..3usize)])
             .collect();
-        TicModel { l: 1, probs }
+        TicModel {
+            l: 1,
+            probs,
+            in_slots: OnceLock::new(),
+        }
     }
 
     /// Multi-topic synthetic model: every edge gets a uniformly random
@@ -124,7 +145,11 @@ impl TicModel {
                 }
             }
         }
-        TicModel { l, probs }
+        TicModel {
+            l,
+            probs,
+            in_slots: OnceLock::new(),
+        }
     }
 
     /// Number of latent topics `L`.
@@ -164,9 +189,121 @@ impl TicModel {
         }
     }
 
+    /// The mixed ad-specific probability of one edge (Eq. 1), computed
+    /// lazily: `p^γ_{u,v} = min(1, Σ_z γ^z · p^z_{u,v})`.
+    ///
+    /// Bit-compatibility contract: the accumulation runs in topic order with
+    /// `f32` arithmetic and a final `min(1.0)` clamp — exactly the arithmetic
+    /// of [`TicModel::ad_probs`] — so lazy mixing and ahead-of-time
+    /// flattening produce the same probability to the last bit. (For `L = 1`
+    /// the weight is exactly `1.0`, so `1.0 · p` then `min(1.0)` is again
+    /// the flat value.)
+    #[inline]
+    pub fn mixed_prob(&self, eid: u32, gamma: &TopicDistribution) -> f32 {
+        debug_assert_eq!(gamma.num_topics(), self.l, "ad topic count mismatch");
+        let row = &self.probs[eid as usize * self.l..(eid as usize + 1) * self.l];
+        mix_row(row, gamma.weights())
+    }
+
+    /// The shared in-slot-gathered view of this model on `g`, built at most
+    /// once (subsequent calls return the cached table). Every per-ad RR
+    /// sampler holds the same `Arc`, which is what keeps TIC sampling memory
+    /// independent of the number of advertisers.
+    ///
+    /// # Panics
+    /// Panics if called with a graph whose edge count differs from the one
+    /// the view was first built on (one `TicModel` binds to one graph).
+    pub fn in_slot_view(&self, g: &CsrGraph) -> Arc<TicInSlots> {
+        let view = self
+            .in_slots
+            .get_or_init(|| Arc::new(TicInSlots::build(g, self)));
+        assert_eq!(
+            view.sources().len(),
+            g.num_edges(),
+            "TicModel in-slot view was built on a different graph"
+        );
+        Arc::clone(view)
+    }
+
     /// Approximate resident bytes of the probability matrix.
     pub fn memory_bytes(&self) -> usize {
         self.probs.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Mixes one edge-major probability row with the given topic weights:
+/// sequential `f32` accumulation in topic order, clamped to 1. This is the
+/// single arithmetic definition shared by [`TicModel::ad_probs`],
+/// [`TicModel::mixed_prob`] and [`TicInSlots::mixed_prob`], so every code
+/// path produces bit-identical mixed probabilities.
+#[inline]
+pub fn mix_row(row: &[f32], weights: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&w, &p) in weights.iter().zip(row) {
+        acc += w * p;
+    }
+    acc.min(1.0)
+}
+
+/// The [`TicModel`] probability matrix regathered into the graph's in-slot
+/// order: `probs[slot * L + z]` is `p^z` of the edge occupying in-slot
+/// `slot`, and `src[slot]` its source node. This is the layout the reverse
+/// (RR) sampler reads — one sequential stream per expanded node, no
+/// canonical-edge-id indirection — shared by every advertiser of an
+/// instance through an `Arc` (see [`TicModel::in_slot_view`]).
+#[derive(Clone, Debug)]
+pub struct TicInSlots {
+    l: usize,
+    src: Vec<NodeId>,
+    probs: Vec<f32>,
+}
+
+impl TicInSlots {
+    /// Gathers `tic` into `g`'s in-slot order.
+    fn build(g: &CsrGraph, tic: &TicModel) -> Self {
+        let (in_sources, in_eids) = g.in_slots();
+        let l = tic.l;
+        let mut probs = Vec::with_capacity(in_eids.len() * l);
+        for &eid in in_eids {
+            probs.extend_from_slice(&tic.probs[eid as usize * l..(eid as usize + 1) * l]);
+        }
+        TicInSlots {
+            l,
+            src: in_sources.to_vec(),
+            probs,
+        }
+    }
+
+    /// Number of latent topics `L`.
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.l
+    }
+
+    /// Source node of each in-slot (parallel to the graph's in-slot order).
+    #[inline]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.src
+    }
+
+    /// The per-topic probability row of one in-slot.
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[f32] {
+        &self.probs[slot * self.l..(slot + 1) * self.l]
+    }
+
+    /// The mixed probability of one in-slot under the given topic weights
+    /// (same arithmetic as [`TicModel::mixed_prob`], see [`mix_row`]).
+    #[inline]
+    pub fn mixed_prob(&self, slot: usize, weights: &[f32]) -> f32 {
+        mix_row(self.row(slot), weights)
+    }
+
+    /// Resident bytes of the shared table (counted **once** per instance by
+    /// memory accounting, not once per advertiser).
+    pub fn memory_bytes(&self) -> usize {
+        self.src.capacity() * std::mem::size_of::<NodeId>()
+            + self.probs.capacity() * std::mem::size_of::<f32>()
     }
 }
 
@@ -306,5 +443,77 @@ mod tests {
     fn shape_mismatch_rejected() {
         let g = diamond();
         let _ = TicModel::from_matrix(&g, 2, vec![0.1; 3]);
+    }
+
+    #[test]
+    fn mixed_prob_bitwise_matches_ad_probs() {
+        // The lazy mix and the ahead-of-time flatten must agree to the last
+        // bit, for single-topic, delta, and general mixtures alike.
+        let g = diamond();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let tic = TicModel::topical(&g, 5, TopicalConfig::default(), &mut rng);
+        for gamma in [
+            TopicDistribution::uniform(5),
+            TopicDistribution::delta(5, 2),
+            TopicDistribution::peaked(5, 0, 0.91),
+            TopicDistribution::new(&[0.3, 0.1, 0.2, 0.15, 0.25]),
+        ] {
+            let flat = tic.ad_probs(&gamma);
+            for e in 0..g.num_edges() as u32 {
+                assert_eq!(tic.mixed_prob(e, &gamma).to_bits(), flat.get(e).to_bits());
+            }
+        }
+        let single = TicModel::weighted_cascade(&g);
+        let gamma = TopicDistribution::uniform(1);
+        let flat = single.ad_probs(&gamma);
+        for e in 0..g.num_edges() as u32 {
+            assert_eq!(
+                single.mixed_prob(e, &gamma).to_bits(),
+                flat.get(e).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn in_slot_view_is_shared_and_matches_edge_rows() {
+        let g = diamond();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let tic = TicModel::topical(&g, 3, TopicalConfig::default(), &mut rng);
+        let view = tic.in_slot_view(&g);
+        // Built once: a second request hands back the same allocation.
+        assert!(Arc::ptr_eq(&view, &tic.in_slot_view(&g)));
+        assert_eq!(view.num_topics(), 3);
+        assert_eq!(view.sources().len(), g.num_edges());
+        // Slot rows are the canonical-edge rows regathered in in-slot order,
+        // and slot mixing equals edge mixing bit-for-bit.
+        let (in_sources, in_eids) = g.in_slots();
+        let gamma = TopicDistribution::new(&[0.5, 0.2, 0.3]);
+        for (slot, (&src, &eid)) in in_sources.iter().zip(in_eids).enumerate() {
+            assert_eq!(view.sources()[slot], src);
+            for z in 0..3 {
+                assert_eq!(
+                    view.row(slot)[z].to_bits(),
+                    tic.topic_prob(eid, z).to_bits()
+                );
+            }
+            assert_eq!(
+                view.mixed_prob(slot, gamma.weights()).to_bits(),
+                tic.mixed_prob(eid, &gamma).to_bits()
+            );
+        }
+        assert!(view.memory_bytes() > 0);
+        // Cloning the model clones the cache handle, not the table.
+        let clone = tic.clone();
+        assert!(Arc::ptr_eq(&view, &clone.in_slot_view(&g)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn in_slot_view_rejects_a_different_graph() {
+        let g = diamond();
+        let tic = TicModel::uniform(&g, 0.4);
+        let _ = tic.in_slot_view(&g);
+        let other = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let _ = tic.in_slot_view(&other);
     }
 }

@@ -4,9 +4,11 @@
 //! equivalence). Both modes sample directly into an [`RrArena`] with no
 //! per-set heap allocation.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
-use rm_diffusion::{AdProbs, DiffusionModel};
+use rm_diffusion::{AdProbs, DiffusionModel, TicInSlots};
 use rm_graph::{CsrGraph, NodeId};
 
 use crate::arena::RrArena;
@@ -274,6 +276,105 @@ fn sample_rr_set_into(
     width
 }
 
+/// Per-node geometric-skip parameters for a TIC mixture: `ln(1 − p^γ)` when
+/// every in-edge of the node mixes to the same acceptance threshold under
+/// `gamma` (always true for single-topic Weighted Cascade, and common under
+/// `TicModel::topical` where all of a node's in-edges share the WC base),
+/// `NAN` otherwise. This is the only per-ad state besides the mixture
+/// itself: O(n) floats, computed with one O(m·L) scan at prepare time — the
+/// shared table stays per-model.
+fn gather_tic_skip_ln(g: &CsrGraph, shared: &TicInSlots, gamma: &[f32]) -> Vec<f64> {
+    (0..g.num_nodes() as NodeId)
+        .map(|v| {
+            let (lo, hi) = g.in_slot_range(v);
+            if hi - lo < SKIP_MIN_DEGREE {
+                return f64::NAN;
+            }
+            let thr = threshold(shared.mixed_prob(lo, gamma));
+            if (lo + 1..hi).all(|s| threshold(shared.mixed_prob(s, gamma)) == thr) {
+                (1.0 - f64::from(thr) / 16_777_216.0).ln()
+            } else {
+                f64::NAN
+            }
+        })
+        .collect()
+}
+
+/// Appends the TIC RR set of stream `set_seed` directly onto `arena`. Same
+/// BFS, draw pattern, and geometric-skip structure as [`sample_rr_set_into`],
+/// but each in-slot's acceptance threshold is computed **lazily** from the
+/// shared per-topic table and this ad's mixture — no flat per-ad threshold
+/// array exists. Because the mixing arithmetic is bit-identical to
+/// `TicModel::ad_probs` (see `rm_diffusion::mix_row`) and zero-probability
+/// slots consume no draw either way, a delta mixture on topic `z` produces
+/// arenas byte-identical to flat IC over the model's column `z`.
+fn sample_tic_rr_set_into(
+    g: &CsrGraph,
+    shared: &TicInSlots,
+    gamma: &[f32],
+    skip_ln: &[f64],
+    ws: &mut RrWorkspace,
+    set_seed: u64,
+    arena: &mut RrArena,
+) -> u64 {
+    let n = g.num_nodes();
+    debug_assert!(n > 0, "cannot sample from an empty graph");
+    let mut rng = SplitMix64::new(set_seed);
+    ws.begin();
+    let root = (rng.next_u64() % n as u64) as NodeId;
+    ws.mark[root as usize] = ws.epoch;
+    let start = arena.nodes.len();
+    arena.nodes.push(root);
+    let src = shared.sources();
+
+    let mut width = 0u64;
+    let mut i = start;
+    while i < arena.nodes.len() {
+        let v = arena.nodes[i];
+        i += 1;
+        let (lo, hi) = g.in_slot_range(v);
+        let m = hi - lo;
+        width += m as u64;
+        if m >= SKIP_MIN_DEGREE && skip_ln[v as usize] < 0.0 {
+            // Uniform mixed probability on this node's in-edges: the IC
+            // geometric-skip path applies unchanged (one draw per accepted
+            // edge; accepted-but-visited edges burn their draw, preserving
+            // the per-edge distribution).
+            let nl = skip_ln[v as usize];
+            let mut j = 0usize;
+            loop {
+                let u = rng.next_f64();
+                j += ((1.0 - u).ln() / nl) as usize;
+                if j >= m {
+                    break;
+                }
+                let s = src[lo + j];
+                if ws.mark[s as usize] != ws.epoch {
+                    ws.mark[s as usize] = ws.epoch;
+                    arena.nodes.push(s);
+                }
+                j += 1;
+            }
+        } else {
+            for (j, &s) in src.iter().enumerate().take(hi).skip(lo) {
+                if ws.mark[s as usize] == ws.epoch {
+                    continue;
+                }
+                // Lazy Eq. 1 mix, then the exact integer coin of the flat
+                // path. `thr == 0` must not consume a draw, matching
+                // `sample_rr_set_into`.
+                let thr = threshold(shared.mixed_prob(j, gamma));
+                if thr > 0 && rng.next_coin() < thr {
+                    ws.mark[s as usize] = ws.epoch;
+                    arena.nodes.push(s);
+                }
+            }
+        }
+    }
+    arena.offsets.push(arena.nodes.len() as u64);
+    width
+}
+
 /// A full 24-bit coin threshold: `next_coin() < COIN_FULL` always holds.
 const COIN_FULL: u32 = 1 << 24;
 
@@ -441,6 +542,15 @@ enum Tables {
         slots: Vec<LtSlot>,
         pick_thr: Vec<u32>,
     },
+    /// TIC: the **shared** in-slot per-topic table (one per `TicModel`,
+    /// `Arc`-shared across every advertiser's sampler) plus this ad's
+    /// mixture weights and per-node geometric-skip parameters — the only
+    /// per-ad state.
+    Tic {
+        shared: Arc<TicInSlots>,
+        gamma: Vec<f32>,
+        skip_ln: Vec<f64>,
+    },
 }
 
 impl Tables {
@@ -460,6 +570,11 @@ impl Tables {
             Tables::Lt { slots, pick_thr } => {
                 sample_lt_rr_set_into(g, slots, pick_thr, ws, set_seed, arena)
             }
+            Tables::Tic {
+                shared,
+                gamma,
+                skip_ln,
+            } => sample_tic_rr_set_into(g, shared, gamma, skip_ln, ws, set_seed, arena),
         }
     }
 
@@ -468,6 +583,7 @@ impl Tables {
         match self {
             Tables::Ic { slots, .. } => slots.len(),
             Tables::Lt { slots, .. } => slots.len(),
+            Tables::Tic { shared, .. } => shared.sources().len(),
         }
     }
 }
@@ -574,6 +690,22 @@ impl PreparedSampler {
                     thread_cap: usize::MAX,
                 }
             }
+            DiffusionModel::Tic { tic, gamma } => {
+                // All h per-ad samplers of one instance share the same
+                // in-slot table (cached inside the `TicModel`); only the
+                // L-float mixture and the O(n) skip parameters are per-ad.
+                let shared = tic.in_slot_view(g);
+                let gamma = gamma.weights().to_vec();
+                let skip_ln = gather_tic_skip_ln(g, &shared, &gamma);
+                PreparedSampler {
+                    tables: Tables::Tic {
+                        shared,
+                        gamma,
+                        skip_ln,
+                    },
+                    thread_cap: usize::MAX,
+                }
+            }
         }
     }
 
@@ -585,7 +717,11 @@ impl PreparedSampler {
         self.thread_cap = cap.max(1);
     }
 
-    /// Resident bytes of the prepared tables (capacity-based).
+    /// Resident bytes of the prepared tables (capacity-based). For TIC this
+    /// counts only the **per-ad** state (mixture + skip parameters); the
+    /// shared in-slot table is owned by the `TicModel` and must be accounted
+    /// once per instance (see [`Self::shared_table_bytes`]), not once per ad
+    /// — that independence from `h` is the point of the lazy-mixing design.
     pub fn memory_bytes(&self) -> usize {
         match &self.tables {
             Tables::Ic { slots, skip_ln } => {
@@ -594,6 +730,18 @@ impl PreparedSampler {
             Tables::Lt { slots, pick_thr } => {
                 std::mem::size_of::<LtSlot>() * slots.capacity() + 4 * pick_thr.capacity()
             }
+            Tables::Tic { gamma, skip_ln, .. } => 4 * gamma.capacity() + 8 * skip_ln.capacity(),
+        }
+    }
+
+    /// Resident bytes of the table shared across samplers, if any: the TIC
+    /// per-topic in-slot table. IC/LT samplers own all their storage and
+    /// return 0. Memory accounting should sum [`Self::memory_bytes`] per ad
+    /// plus this once per distinct shared table.
+    pub fn shared_table_bytes(&self) -> usize {
+        match &self.tables {
+            Tables::Tic { shared, .. } => shared.memory_bytes(),
+            _ => 0,
         }
     }
 
@@ -936,6 +1084,126 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tic_delta_mixture_is_bit_identical_to_flat_ic() {
+        // A delta mixture on topic z must drive the lazy-mixing TIC sampler
+        // through byte-identical arenas to flat IC built from column z.
+        use rm_diffusion::{TicModel, TopicDistribution};
+        let g = chain();
+        let l = 3;
+        let probs: Vec<f32> = (0..g.num_edges())
+            .flat_map(|e| [0.9, 0.3 + 0.1 * e as f32, 0.05])
+            .collect();
+        let tic = std::sync::Arc::new(TicModel::from_matrix(&g, l, probs));
+        for z in 0..l {
+            let tic_model = DiffusionModel::tic(Arc::clone(&tic), TopicDistribution::delta(l, z));
+            let flat: Vec<f32> = (0..g.num_edges() as u32)
+                .map(|e| tic.topic_prob(e, z))
+                .collect();
+            let ic_model = DiffusionModel::ic(AdProbs::from_vec(flat));
+            let (a, wa) = sample_rr_batch_model(&g, &tic_model, 400, 7, 0);
+            let (b, wb) = sample_rr_batch_model(&g, &ic_model, 400, 7, 0);
+            assert_eq!(a, b, "topic {z}: arenas differ");
+            assert_eq!(wa, wb);
+        }
+    }
+
+    #[test]
+    fn tic_geometric_skip_path_matches_bernoulli_frequencies() {
+        // TIC in-star: 20 leaves into center 20, two topics mixing to a
+        // uniform 0.5 on every edge under the uniform mixture — forcing the
+        // TIC geometric-skip path. Same expectation math as the IC version:
+        // σ({leaf}) = 21 · (1 + 0.5)/21 = 1.5.
+        use rm_diffusion::{TicModel, TopicDistribution};
+        let edges: Vec<(u32, u32)> = (0..20).map(|leaf| (leaf, 20)).collect();
+        let g = graph_from_edges(21, &edges);
+        let probs: Vec<f32> = (0..20).flat_map(|_| [0.8, 0.2]).collect();
+        let tic = std::sync::Arc::new(TicModel::from_matrix(&g, 2, probs));
+        let gamma = TopicDistribution::uniform(2);
+        let model = DiffusionModel::tic(Arc::clone(&tic), gamma.clone());
+        // Precondition: the mixture really is uniform, so skip_ln engages.
+        let sampler = PreparedSampler::for_model(&g, &model);
+        let Tables::Tic { ref skip_ln, .. } = sampler.tables else {
+            panic!("expected TIC tables");
+        };
+        assert!(skip_ln[20] < 0.0, "center must take the geometric path");
+        let theta = 60_000;
+        let (sets, _) = sampler.sample_batch(&g, theta, 13, 0);
+        let count0 = sets.iter().filter(|s| s.contains(&0)).count();
+        let est = 21.0 * count0 as f64 / theta as f64;
+        assert!((est - 1.5).abs() < 0.05, "σ({{leaf}}) est {est}, want 1.5");
+        let center_sizes: Vec<usize> = sets
+            .iter()
+            .filter(|s| s[0] == 20)
+            .map(|s| s.len() - 1)
+            .collect();
+        let mean = center_sizes.iter().sum::<usize>() as f64 / center_sizes.len() as f64;
+        assert!(
+            (mean - 10.0).abs() < 0.1,
+            "accepted-leaf mean {mean}, want 10"
+        );
+    }
+
+    #[test]
+    fn tic_batch_deterministic_and_indexed() {
+        use rm_diffusion::{TicModel, TopicDistribution};
+        let g = chain();
+        let probs: Vec<f32> = (0..g.num_edges()).flat_map(|_| [0.7, 0.2]).collect();
+        let tic = std::sync::Arc::new(TicModel::from_matrix(&g, 2, probs));
+        let model = DiffusionModel::tic(tic, TopicDistribution::new(&[0.4, 0.6]));
+        let (a, wa) = sample_rr_batch_model(&g, &model, 100, 9, 0);
+        let (b, wb) = sample_rr_batch_model(&g, &model, 100, 9, 0);
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+        // Growing a sample continues the same logical sequence.
+        let (full, _) = sample_rr_batch_model(&g, &model, 150, 9, 0);
+        let (tail, _) = sample_rr_batch_model(&g, &model, 50, 9, 100);
+        assert!(full.iter().skip(100).eq(tail.iter()));
+        // Thread-cap independence: capped at 1 worker, same arena.
+        let mut capped = PreparedSampler::for_model(&g, &model);
+        capped.set_thread_cap(1);
+        let (c, wc) = capped.sample_batch(&g, 100, 9, 0);
+        assert_eq!(a, c);
+        assert_eq!(wa, wc);
+    }
+
+    #[test]
+    fn tic_per_ad_memory_excludes_shared_table() {
+        // Per-ad sampler bytes must not scale with the edge-table size; the
+        // shared table is reported separately, once, and really is shared.
+        use rm_diffusion::{TicModel, TopicDistribution};
+        let edges: Vec<(u32, u32)> = (0..200u32).map(|i| (i, (i + 1) % 200)).collect();
+        let g = graph_from_edges(200, &edges);
+        let probs: Vec<f32> = (0..g.num_edges())
+            .flat_map(|_| [0.5, 0.1, 0.2, 0.0])
+            .collect();
+        let tic = std::sync::Arc::new(TicModel::from_matrix(&g, 4, probs));
+        let samplers: Vec<PreparedSampler> = (0..4)
+            .map(|z| {
+                PreparedSampler::for_model(
+                    &g,
+                    &DiffusionModel::tic(Arc::clone(&tic), TopicDistribution::peaked(4, z, 0.91)),
+                )
+            })
+            .collect();
+        let shared = tic.in_slot_view(&g);
+        for s in &samplers {
+            // Per-ad state: L mixture floats + n skip params, nothing
+            // proportional to m · L.
+            assert!(s.memory_bytes() <= 4 * 4 + 8 * g.num_nodes() + 64);
+            assert_eq!(s.shared_table_bytes(), shared.memory_bytes());
+            let Tables::Tic {
+                shared: ref table, ..
+            } = s.tables
+            else {
+                panic!("expected TIC tables");
+            };
+            assert!(std::sync::Arc::ptr_eq(table, &shared));
+        }
+        let ic = PreparedSampler::new(&g, &tic.ad_probs(&TopicDistribution::uniform(4)));
+        assert_eq!(ic.shared_table_bytes(), 0);
     }
 
     #[test]

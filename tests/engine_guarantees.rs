@@ -111,6 +111,118 @@ fn both_strategies_clear_the_guarantee_on_certified_optima() {
     }
 }
 
+/// The TIC twin of [`gadget`]: the same 8-node two-star topology, but with
+/// a **two-topic** table — each star's edges live mostly in its own topic —
+/// and delta-ish ads pulling toward opposite stars. Built with `build_tic`,
+/// so the engine prices, samples, and selects through lazy mixing; exact
+/// revenues come from the per-ad Eq. 1 flatten (TIC is IC conditioned on
+/// the ad).
+fn tic_gadget() -> RmInstance {
+    let g = Arc::new(graph_from_edges(
+        8,
+        &[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (1, 7), (5, 7)],
+    ));
+    // Star A = edges out of {0, 1} (topic 0); star B = out of {4, 5}
+    // (topic 1). Strong in-topic probability, weak cross-topic bleed.
+    let mut probs = vec![0.0f32; g.num_edges() * 2];
+    for (eid, u, _v) in g.edges() {
+        let z = if u < 4 { 0 } else { 1 };
+        probs[eid as usize * 2 + z] = 0.8;
+        probs[eid as usize * 2 + (1 - z)] = 0.15;
+    }
+    let tic = Arc::new(TicModel::from_matrix(&g, 2, probs));
+    let ads = vec![
+        Advertiser::new(1.0, 6.0, TopicDistribution::peaked(2, 0, 0.9)),
+        Advertiser::new(1.5, 6.0, TopicDistribution::peaked(2, 1, 0.9)),
+    ];
+    RmInstance::build_tic(
+        g,
+        tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.2 },
+        SingletonMethod::MonteCarlo { runs: 400 },
+        11,
+    )
+}
+
+#[test]
+fn tic_clears_the_guarantee_on_certified_optima() {
+    // The full §4 guarantee, end-to-end under lazy-mixing TIC: both
+    // sampling strategies (KPT pilot θ and the online stopping rule must
+    // certify against the per-ad *mixed* model) × both algorithms × 20
+    // seeds, scored by exact possible-world enumeration.
+    let inst = tic_gadget();
+    let n = inst.num_nodes();
+    let p = inst.to_exact_problem();
+    let (_, opt) = revmax::submod::exact::brute_force_optimum(&p);
+    assert!(opt > 0.0, "degenerate TIC gadget");
+    let floor = guarantee_floor() * opt;
+
+    for strategy in [SamplingStrategy::FixedTheta, SamplingStrategy::OnlineBounds] {
+        for kind in [AlgorithmKind::TiCarm, AlgorithmKind::TiCsrm] {
+            let mut ratios = Vec::with_capacity(20);
+            for seed in 0..20u64 {
+                let cfg = ScalableConfig {
+                    epsilon: EPSILON,
+                    sampling: strategy,
+                    max_sets_per_ad: 400_000,
+                    seed: 1000 + seed,
+                    ..Default::default()
+                };
+                let (alloc, _) = TiEngine::new(&inst, kind, cfg).run();
+                let got = exact_revenue(&p, &alloc, n);
+                assert!(
+                    got + 1e-9 >= floor,
+                    "TIC {} {} seed {seed}: exact revenue {got} below \
+                     (1-1/e-ε)·OPT = {floor} (OPT {opt})",
+                    strategy.name(),
+                    kind.name(),
+                );
+                ratios.push(got / opt);
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            assert!(
+                mean >= 2.0 * guarantee_floor(),
+                "TIC {} {}: mean exact ratio {mean} lacks margin ({ratios:?})",
+                strategy.name(),
+                kind.name(),
+            );
+        }
+    }
+}
+
+#[test]
+fn tic_selection_is_thread_count_invariant() {
+    // Allocation and stats must be byte-identical at selection_threads 1
+    // and 8 on a TIC instance — the cross-advertiser parallel rounds may
+    // not perturb lazy-mixing results.
+    let inst = tic_gadget();
+    for strategy in [SamplingStrategy::FixedTheta, SamplingStrategy::OnlineBounds] {
+        let run = |threads: usize| {
+            let cfg = ScalableConfig {
+                epsilon: EPSILON,
+                sampling: strategy,
+                max_sets_per_ad: 400_000,
+                seed: 77,
+                selection_threads: threads,
+                ..Default::default()
+            };
+            TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run()
+        };
+        let (alloc_1, stats_1) = run(1);
+        let (alloc_8, stats_8) = run(8);
+        assert_eq!(
+            alloc_1.seeds,
+            alloc_8.seeds,
+            "TIC {}: allocations differ across selection_threads",
+            strategy.name()
+        );
+        assert_eq!(stats_1.rr_sets_sampled, stats_8.rr_sets_sampled);
+        assert_eq!(stats_1.revenue_per_ad, stats_8.revenue_per_ad);
+        assert_eq!(stats_1.seeding_cost_per_ad, stats_8.seeding_cost_per_ad);
+    }
+}
+
 /// Quality-style mid-size instance (BA graph, Weighted Cascade, competing
 /// ads, linear incentives) shared by the agreement tests.
 fn quality_style_instance(seed: u64) -> RmInstance {
