@@ -29,7 +29,7 @@ fn bench_engine(c: &mut Criterion) {
                 .run()
                 .1
                 .rounds
-        })
+        });
     });
     group.bench_function("ti_carm", |b| {
         b.iter(|| {
@@ -37,7 +37,7 @@ fn bench_engine(c: &mut Criterion) {
                 .run()
                 .1
                 .rounds
-        })
+        });
     });
     let eager = ScalableConfig { lazy: false, ..cfg };
     group.bench_function("ti_csrm_eager", |b| {
@@ -46,7 +46,7 @@ fn bench_engine(c: &mut Criterion) {
                 .run()
                 .1
                 .rounds
-        })
+        });
     });
     group.finish();
 }

@@ -269,6 +269,7 @@ fn quality_sweep(
                 for &kind in algos {
                     let cfg = opts.engine_cfg(quality_config(opts.seed, opts.paper_eps));
                     let (alloc, stats) = TiEngine::new(&inst, kind, cfg).run();
+                    // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
                     let report = evaluate_allocation(&inst, &alloc, eval, opts.seed ^ eval_salt);
                     let base = vec![
                         ds.to_string(),

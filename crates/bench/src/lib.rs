@@ -11,6 +11,8 @@
 //! * [`experiments`] — one function per paper artifact (`table1` … `fig5`)
 //!   and per ablation, shared by the `experiments` binary.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 pub mod setup;

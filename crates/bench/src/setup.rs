@@ -130,7 +130,7 @@ impl QualityContext {
     /// sample).
     pub fn new(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
         let probe = quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
-        Self::from_probe(ds, probe)
+        Self::from_probe(ds, &probe)
     }
 
     /// Builds the **Linear Threshold** context: LT in-weights from the
@@ -138,7 +138,7 @@ impl QualityContext {
     /// singleton pricing under LT.
     pub fn new_lt(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
         let probe = lt_quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
-        Self::from_probe(ds, probe)
+        Self::from_probe(ds, &probe)
     }
 
     /// Builds the **lazy-mixing TIC** context: the paper's actual topical
@@ -146,10 +146,10 @@ impl QualityContext {
     /// no flattened per-ad probability arrays anywhere in the pipeline.
     pub fn new_tic(ds: SyntheticDataset, h: usize, scale: f64, seed: u64) -> Self {
         let probe = tic_quality_instance(ds, IncentiveModel::Linear { alpha: 1.0 }, h, scale, seed);
-        Self::from_probe(ds, probe)
+        Self::from_probe(ds, &probe)
     }
 
-    fn from_probe(ds: SyntheticDataset, probe: RmInstance) -> Self {
+    fn from_probe(ds: SyntheticDataset, probe: &RmInstance) -> Self {
         QualityContext {
             dataset: ds,
             graph: probe.graph.clone(),

@@ -106,6 +106,7 @@ pub fn run_adaptive_campaign(
             }
         }
         let engine_cfg = ScalableConfig {
+            // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
             seed: cfg.engine.seed ^ ((round as u64) << 8),
             ..cfg.engine
         };

@@ -26,8 +26,9 @@ impl SeedAllocation {
 
     /// Partition-matroid check: no user endorses two ads.
     pub fn is_disjoint(&self) -> bool {
-        let mut seen = std::collections::HashSet::new();
-        self.seeds.iter().flatten().all(|&u| seen.insert(u))
+        let mut all: Vec<NodeId> = self.seeds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.windows(2).all(|w| w[0] != w[1])
     }
 }
 
@@ -109,12 +110,14 @@ pub fn evaluate_allocation(
                     &model,
                     seeds,
                     theta,
+                    // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
                     seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
                 ),
                 EvalMethod::MonteCarlo { runs } => model.estimate_spread(
                     &instance.graph,
                     seeds,
                     runs,
+                    // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
                     seed ^ 0xE7A1_5EED ^ ((i as u64) << 24),
                 ),
             }
@@ -160,6 +163,15 @@ mod tests {
             seeds: vec![vec![0], vec![0]],
         };
         assert!(!b.is_disjoint());
+        // A duplicate *within* one set also violates the partition matroid
+        // (regression guard for the sorted-Vec rewrite of the old
+        // HashSet-based check).
+        let c = SeedAllocation {
+            seeds: vec![vec![1, 1], vec![2]],
+        };
+        assert!(!c.is_disjoint());
+        let empty = SeedAllocation::empty(3);
+        assert!(empty.is_disjoint());
     }
 
     #[test]

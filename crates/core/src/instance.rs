@@ -155,6 +155,7 @@ impl RmInstance {
                     let sigma = method.singleton_spreads_model(
                         &graph,
                         &m,
+                        // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
                         seed ^ ((i as u64) << 40) ^ 0xA11C,
                     );
                     singleton_spreads.push(Arc::new(sigma));
@@ -218,6 +219,7 @@ impl RmInstance {
                     let sigma = method.singleton_spreads_model(
                         &graph,
                         &m,
+                        // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
                         seed ^ ((i as u64) << 40) ^ 0xA11C,
                     );
                     singleton_spreads.push(Arc::new(sigma));

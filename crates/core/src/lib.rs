@@ -18,6 +18,8 @@
 //!   ([`metrics`]), and the paper's Figure 1 tightness gadget
 //!   ([`instances`]).
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod advertiser;
 pub mod allocation;

@@ -54,6 +54,7 @@ impl SpreadOracle for McOracle<'_> {
             seeds,
             self.runs,
             // Same stream for every query of this ad: common random numbers.
+            // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
             self.seed ^ ((ad as u64) << 32),
         )
         .spread

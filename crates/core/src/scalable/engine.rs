@@ -20,6 +20,13 @@
 //!    the window restores of every contended ad are batched and run as
 //!    disjoint per-ad jobs on the same worker pool.
 
+// INVARIANT(indexing): all computed indices in this file are bounded by
+// construction — node ids come from the owning CsrGraph (< num_nodes) and
+// slot/offset arithmetic is derived from lengths computed in the same
+// function. Bounds are exercised by the crate test suite; new indexing
+// must preserve this discipline.
+
+// Telemetry only: wall_ms never influences selection. rm-lint: allow(wallclock-in-results)
 use std::time::Instant;
 
 use rm_graph::NodeId;
@@ -59,6 +66,7 @@ impl<'a> TiEngine<'a> {
     /// Runs the algorithm to termination, returning the allocation and run
     /// statistics.
     pub fn run(&self) -> (SeedAllocation, RunStats) {
+        // Telemetry only (RunStats::wall_ms). rm-lint: allow(wallclock-in-results)
         let start = Instant::now();
         let n = self.inst.num_nodes();
         let h = self.inst.num_ads();
@@ -99,6 +107,8 @@ impl<'a> TiEngine<'a> {
                     let v = ads[i]
                         .candidate
                         .as_ref()
+                        // INVARIANT: choose_winner only returns ads whose
+                        // candidate is Some (it scores that candidate).
                         .expect("arbiter winners hold a candidate")
                         .v;
                     assigned[v as usize] = true;
@@ -232,6 +242,8 @@ impl<'a> TiEngine<'a> {
         // selection cost would be pure overhead.
         let threads = pool.threads_for(jobs.len(), fixup_cost);
         self.for_each_ad(jobs, threads, stats, |st, scratch| {
+            // INVARIANT: commit_round enqueues only ads that held a
+            // candidate this round (the winner and contended losers).
             let cand = st.candidate.take().expect("fixup jobs hold a candidate");
             if st.idx == winner {
                 self.commit_winner(st, &cand, assigned, tim, scratch);
@@ -395,6 +407,8 @@ impl<'a> TiEngine<'a> {
                 })
                 .collect();
             for handle in handles {
+                // INVARIANT: a worker panic is unrecoverable corruption of
+                // the round; propagating it is the only sound response.
                 let mut scratch = handle.join().expect("selection worker panicked");
                 // The only stats the refresh/fixup closures touch; extend
                 // this merge when a worker-side closure grows a counter.
@@ -470,17 +484,22 @@ impl<'a> TiEngine<'a> {
                             break;
                         }
                         let st = self.init_ad(j, tim, pr_orders[j].clone(), inner_threads);
+                        // INVARIANT: poisoning implies a sibling panicked;
+                        // propagate rather than run with partial ad state.
                         *slots[j].lock().expect("ad-init slot poisoned") = Some(st);
                     })
                 })
                 .collect();
             for handle in handles {
+                // INVARIANT: see selection-worker join above.
                 handle.join().expect("ad-init worker panicked");
             }
         });
         slots
             .into_iter()
             .map(|slot| {
+                // INVARIANT: every worker index wrote its slot before the
+                // joins above returned; None/poison implies a worker panic.
                 slot.into_inner()
                     .expect("ad-init slot poisoned")
                     .expect("ad-init worker skipped an ad")
@@ -603,6 +622,8 @@ impl<'a> TiEngine<'a> {
         loop {
             let op = st
                 .opim
+                // INVARIANT: callers gate on SamplingStrategy::OnlineBounds,
+                // whose init_ads constructs opim state for every ad.
                 .as_ref()
                 .expect("certify_or_double requires opim state");
             let s = st.s_latent.max(1);
@@ -657,6 +678,7 @@ impl<'a> TiEngine<'a> {
             st.cov.add_batch(&sets, &st.is_seed);
             let val_seed = op.val_seed;
             let (val_sets, _) = st.sampler.sample_batch(g, batch, val_seed, st.theta as u64);
+            // INVARIANT: the enclosing branch read st.opim immutably above.
             let op = st.opim.as_mut().expect("opim state just observed");
             op.val_cov.add_batch(&val_sets, &st.is_seed);
             st.samples += 2 * batch as u64;
@@ -1010,6 +1032,8 @@ impl<'a> TiEngine<'a> {
                     .kpt
                     .theta_for(n, st.s_latent, tim)
                     .min(self.online_stream_valve(tim));
+                // INVARIANT: init_ads builds opim state whenever the
+                // strategy is OnlineBounds, the only path reaching here.
                 let op = st.opim.as_mut().expect("OnlineBounds ads carry opim state");
                 op.theta_cap = op.theta_cap.max(cap);
                 if self.certify_or_double(st, tim, assigned) {

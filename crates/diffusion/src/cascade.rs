@@ -4,6 +4,12 @@
 //! out-neighbour, succeeding independently with the ad-specific edge
 //! probability (Eq. 1). One simulation = one sampled cascade.
 
+// INVARIANT(indexing): all computed indices in this file are bounded by
+// construction — node ids come from the owning CsrGraph (< num_nodes) and
+// slot/offset arithmetic is derived from lengths computed in the same
+// function. Bounds are exercised by the crate test suite; new indexing
+// must preserve this discipline.
+
 use rand::Rng;
 
 use rm_graph::{CsrGraph, NodeId};

@@ -26,6 +26,8 @@
 //! mixes each ad's probabilities at sample time, so per-ad memory is a
 //! topic mixture, not an edge array.
 
+#![forbid(unsafe_code)]
+
 pub mod cascade;
 pub mod lt;
 pub mod model;

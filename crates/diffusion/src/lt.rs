@@ -208,6 +208,8 @@ pub fn sample_lt_rr_set<R: Rng + ?Sized>(
     }
     let root = rng.random_range(0..n) as NodeId;
     out.push(root);
+    // Membership-only cycle guard: never iterated, so hash order cannot leak
+    // into results. rm-lint: allow(nondet-iter)
     let mut seen = std::collections::HashSet::new();
     seen.insert(root);
     let mut cur = root;

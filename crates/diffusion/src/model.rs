@@ -103,6 +103,9 @@ impl DiffusionModel {
     /// A Linear Threshold model over the given in-weights, water-filled into
     /// feasibility per node ([`normalize_lt_weights`]). Feasible inputs are
     /// passed through without copying.
+    // By-value on purpose: symmetric with `lt_prenormalized` (which does
+    // consume), and callers pass freshly built AdProbs.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn lt(g: &CsrGraph, weights: AdProbs) -> Self {
         DiffusionModel::LinearThreshold(normalize_lt_weights(g, &weights))
     }

@@ -59,6 +59,8 @@ pub fn estimate_spread(
             scope.spawn(move || {
                 let mut ws = CascadeWorkspace::new(g.num_nodes());
                 let mut rng = SmallRng::seed_from_u64(
+                    // Injective per tid; golden-pinned legacy stream.
+                    // rm-lint: allow(rng-discipline)
                     seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
                 let mut total = 0u64;
@@ -120,6 +122,8 @@ where
                 let lo = tid * chunk;
                 let mut ws = make_ws();
                 let mut rng = SmallRng::seed_from_u64(
+                    // Injective per tid; golden-pinned legacy stream.
+                    // rm-lint: allow(rng-discipline)
                     seed ^ (tid as u64).wrapping_mul(0xD134_2543_DE82_EF95),
                 );
                 for (off, slot) in slice.iter_mut().enumerate() {

@@ -1,6 +1,12 @@
 //! The Topic-aware Independent Cascade model and ad-specific probability
 //! flattening (Eq. 1).
 
+// INVARIANT(indexing): all computed indices in this file are bounded by
+// construction — node ids come from the owning CsrGraph (< num_nodes) and
+// slot/offset arithmetic is derived from lengths computed in the same
+// function. Bounds are exercised by the crate test suite; new indexing
+// must preserve this discipline.
+
 use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
@@ -53,12 +59,17 @@ impl TicModel {
     /// Panics if the matrix shape does not match the graph or any probability
     /// is outside `[0, 1]`.
     pub fn from_matrix(g: &CsrGraph, l: usize, probs: Vec<f32>) -> Self {
+        // INVARIANT: documented constructor contract (# Panics above);
+        // validating at the API boundary keeps the sampling loops free of
+        // per-edge range checks.
         assert!(l > 0);
+        // INVARIANT: constructor contract (see above).
         assert_eq!(
             probs.len(),
             g.num_edges() * l,
             "probability matrix shape mismatch"
         );
+        // INVARIANT: constructor contract (see above).
         assert!(
             probs.iter().all(|&p| (0.0..=1.0).contains(&p)),
             "probabilities must lie in [0,1]"
@@ -124,6 +135,7 @@ impl TicModel {
         cfg: TopicalConfig,
         rng: &mut R,
     ) -> Self {
+        // INVARIANT: constructor contract — a TIC model needs ≥1 topic.
         assert!(l >= 1);
         let m = g.num_edges();
         let mut probs = vec![0.0f32; m * l];
@@ -168,6 +180,8 @@ impl TicModel {
     /// `p^i_{u,v} = Σ_z γ^z_i · p^z_{u,v}`, producing a dense per-edge
     /// probability array consumed by the cascade simulator and RR sampler.
     pub fn ad_probs(&self, gamma: &TopicDistribution) -> AdProbs {
+        // INVARIANT: API contract — γ must be over this model's topic space;
+        // flattening with a mismatched γ would silently mis-weight edges.
         assert_eq!(gamma.num_topics(), self.l, "ad topic count mismatch");
         let m = self.probs.len() / self.l.max(1);
         let mut out = vec![0.0f32; m];
@@ -217,6 +231,8 @@ impl TicModel {
         let view = self
             .in_slots
             .get_or_init(|| Arc::new(TicInSlots::build(g, self)));
+        // INVARIANT: documented contract (# Panics above) — one TicModel
+        // binds to one graph.
         assert_eq!(
             view.sources().len(),
             g.num_edges(),
@@ -318,6 +334,8 @@ pub struct AdProbs {
 impl AdProbs {
     /// Wraps an explicit probability vector (one entry per canonical edge).
     pub fn from_vec(probs: Vec<f32>) -> Self {
+        // INVARIANT: constructor contract — probabilities validated once at
+        // the boundary so traversal loops can skip range checks.
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
         AdProbs {
             probs: Arc::new(probs),

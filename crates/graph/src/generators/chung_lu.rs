@@ -105,6 +105,8 @@ fn sample_edges<R: Rng + ?Sized>(
     }
     let src_table = AliasTable::new(w_out);
     let dst_table = AliasTable::new(w_in);
+    // Membership-only dedup: never iterated, so hash order cannot leak into
+    // results. rm-lint: allow(nondet-iter)
     let mut seen = std::collections::HashSet::with_capacity(2 * m);
     let mut placed = 0usize;
     let mut attempts = 0usize;

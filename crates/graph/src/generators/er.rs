@@ -41,6 +41,8 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGra
 pub fn erdos_renyi_m<R: Rng + ?Sized>(n: usize, m: usize, directed: bool, rng: &mut R) -> CsrGraph {
     assert!(n >= 2 || m == 0, "need at least two nodes to place edges");
     let mut b = GraphBuilder::with_capacity(n, if directed { m } else { 2 * m });
+    // Membership-only dedup: never iterated, so hash order cannot leak into
+    // results. rm-lint: allow(nondet-iter)
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut attempts = 0usize;
     let max_attempts = m.saturating_mul(20).max(1024);

@@ -29,6 +29,8 @@
 //! assert_eq!(deg_sum, g.num_edges());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alias;
 pub mod builder;
 pub mod components;
@@ -37,6 +39,7 @@ pub mod degree;
 pub mod generators;
 pub mod io;
 pub mod pagerank;
+pub mod seed;
 pub mod synthetic;
 
 pub use builder::GraphBuilder;

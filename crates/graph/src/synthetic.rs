@@ -100,6 +100,7 @@ impl SyntheticDataset {
         let spec = self.spec();
         let n = ((spec.paper_nodes as f64 * scale) as usize).max(64);
         let m = ((spec.paper_edges as f64 * scale) as usize).max(4 * n);
+        // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0000 ^ (self as u64) << 32);
         if spec.directed {
             chung_lu_directed(n, m, self.gamma(), &mut rng)

@@ -1,0 +1,352 @@
+//! A minimal hand-rolled Rust surface lexer.
+//!
+//! `rm-lint` never needs a full parse: every lint operates on *lines of
+//! code* with comments and literal contents stripped, plus a flat token
+//! stream per line. The splitter below walks the source once, classifying
+//! each byte as code or comment, blanking the interiors of string/char
+//! literals (so `"HashMap"` in a message can never trigger a lint), and
+//! preserving byte positions so findings carry exact columns.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth, `b`/`br`
+//! prefixes), char literals vs. lifetimes (`'a'` vs `'a`), and multi-line
+//! literals.
+
+/// One physical source line, split into its code and comment parts.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The original text (without the trailing newline).
+    pub raw: String,
+    /// Code part: comments removed, string/char interiors blanked with
+    /// spaces. Same length as `raw`, so columns line up.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` / `/*`).
+    pub comment: String,
+}
+
+/// Splits `source` into [`Line`]s.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let bytes = source.as_bytes();
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(64);
+    let mut lines = Vec::new();
+    let mut raw_line_start = 0usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        ($end:expr) => {{
+            lines.push(Line {
+                raw: source[raw_line_start..$end].to_string(),
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            flush_line!(i);
+            raw_line_start = i + 1;
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::Block(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                } else if (b == b'r' || b == b'b') && !prev_is_ident(bytes, i) {
+                    // Possible raw/byte string: r"…", r#"…"#, b"…", br#"…"#.
+                    if let Some((hashes, skip)) = raw_str_open(bytes, i) {
+                        state = State::RawStr(hashes);
+                        for _ in 0..skip {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        i += skip;
+                    } else {
+                        code.push(b as char);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Char literal or lifetime?
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(b as char);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(b as char);
+                code.push(' ');
+                i += 1;
+            }
+            State::Block(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::Block(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(b as char);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    code.push_str("  ");
+                    i += 2.min(bytes.len() - i);
+                } else if b == b'"' {
+                    state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    state = State::Code;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' {
+                    code.push_str("  ");
+                    i += 2.min(bytes.len() - i);
+                } else if b == b'\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line!(bytes.len());
+    lines
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// If `bytes[i..]` opens a raw/byte string, returns `(hash_count, bytes to
+/// skip past the opening quote)`.
+fn raw_str_open(bytes: &[u8], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        // b"…" — plain byte string; treat as normal string open.
+        return if j > i { Some((0, j - i + 1)) } else { None };
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// `'` at `i`: char literal (`'x'`, `'\n'`) or lifetime (`'a`, `'static`)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Token kinds the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (including `0x…` with `_` separators).
+    Num,
+    /// Single punctuation byte.
+    Punct,
+}
+
+/// A token within one line of code.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind.
+    pub kind: TokKind,
+    /// Token text.
+    pub text: String,
+    /// 1-based column of the first byte.
+    pub col: usize,
+}
+
+/// Tokenizes one blanked code line: identifiers, numbers, and single-byte
+/// punctuation. String/char interiors were already blanked, so their quotes
+/// surface as punctuation and their contents as whitespace.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: code[start..i].to_string(),
+                col: start + 1,
+            });
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: code[start..i].to_string(),
+                col: start + 1,
+            });
+        } else if b.is_ascii() {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (b as char).to_string(),
+                col: i + 1,
+            });
+            i += 1;
+        } else {
+            // Non-ASCII (doc prose that leaked into code is impossible, but
+            // be safe): skip the full UTF-8 sequence.
+            let ch_len = code[i..].chars().next().map_or(1, char::len_utf8);
+            i += ch_len;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped() {
+        let l = split_lines("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!l[0].code.contains("HashMap"));
+        assert!(l[0].comment.contains("HashMap"));
+        assert!(l[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = split_lines("a /* x /* y */ z */ b");
+        assert_eq!(l[0].code.replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn string_interiors_blanked() {
+        let l = split_lines(r#"panic!("HashMap {}", x);"#);
+        assert!(!l[0].code.contains("HashMap"));
+        assert!(l[0].code.contains("panic"));
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let l = split_lines("let s = r#\"unsafe HashSet\"#; let t = 1;");
+        assert!(!l[0].code.contains("unsafe"));
+        assert!(l[0].code.contains("let t"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = split_lines("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'z'; }");
+        assert!(l[0].code.contains("'a str"));
+        assert!(!l[0].code.contains('z'));
+    }
+
+    #[test]
+    fn multiline_string() {
+        let l = split_lines("let s = \"unsafe\nHashMap\";\nlet u = 3;");
+        assert!(!l[0].code.contains("unsafe"));
+        assert!(!l[1].code.contains("HashMap"));
+        assert!(l[2].code.contains("let u"));
+    }
+
+    #[test]
+    fn tokenizer_basics() {
+        let t = tokenize("seed ^ 0x5EED_0000 + idx");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["seed", "^", "0x5EED_0000", "+", "idx"]);
+        assert_eq!(t[0].col, 1);
+        assert_eq!(t[1].kind, TokKind::Punct);
+        assert_eq!(t[2].kind, TokKind::Num);
+    }
+}

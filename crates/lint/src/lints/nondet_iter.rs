@@ -1,0 +1,42 @@
+//! `nondet-iter` — `HashMap`/`HashSet` in non-test result-affecting code.
+//!
+//! Iterating a std hash container yields a different order per process
+//! (SipHash keys are randomized), which silently breaks the bit-identical
+//! winner/golden-snapshot guarantees. A line scanner cannot prove whether a
+//! given container is ever iterated, so the lint flags *presence*: either
+//! switch to `BTreeMap`/`BTreeSet`/a sorted `Vec`, or waive the line with
+//! `// rm-lint: allow(nondet-iter)` plus a comment proving the use is
+//! membership-only (insert/contains never observes order).
+
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::Finding;
+
+const NAME: &str = "nondet-iter";
+
+pub fn check(cx: &FileContext, out: &mut Vec<Finding>) {
+    for (li, toks) in cx.tokens.iter().enumerate() {
+        if cx.in_test[li] {
+            continue;
+        }
+        for t in toks {
+            if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+                if cx.allowed(li, NAME) {
+                    continue;
+                }
+                out.push(Finding::new(
+                    NAME,
+                    cx,
+                    li,
+                    t.col,
+                    format!(
+                        "{} in result-affecting code: iteration order is nondeterministic; use \
+                         BTreeMap/BTreeSet or a sorted Vec, or waive with an order-independence \
+                         argument",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

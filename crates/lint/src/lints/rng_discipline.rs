@@ -1,0 +1,151 @@
+//! `rng-discipline` — seed derivation outside the sanctioned mixers.
+//!
+//! The PR 2 stream-collision bug class: two RNG streams derived by *raw
+//! arithmetic* on a base seed (`seed + i`, `seed ^ i`) can collide or
+//! correlate across advertisers. The repo convention is chained SplitMix64
+//! mixing via `rm_graph::seed::stream_seed`; this lint flags
+//!
+//! 1. any operator chain (`^`, `+`, `*`) that mixes a seed-ish identifier
+//!    (`seed`, `*_seed`) with another runtime variable,
+//! 2. RNG construction (`seed_from_u64`, `from_seed`, `SplitMix64::new`)
+//!    whose argument mixes two or more runtime variables, and
+//! 3. `seed.wrapping_add/mul/sub(x)` with a non-constant `x`.
+//!
+//! Constant salts (`seed ^ 0x5EED`, `seed ^ SALT`) are the sanctioned
+//! domain-separation idiom and never flagged. The seed-helper module itself
+//! (`crates/graph/src/seed.rs`) is exempt — it *is* the mixer.
+
+use std::collections::BTreeSet;
+
+use crate::context::FileContext;
+use crate::lexer::{Tok, TokKind};
+use crate::lints::{chains, contains_seed_ident, contains_variable, flatten, matching_paren};
+use crate::Finding;
+
+const NAME: &str = "rng-discipline";
+
+pub fn check(cx: &FileContext, out: &mut Vec<Finding>) {
+    if cx.is_seed_helper() {
+        return;
+    }
+    let flat = flatten(cx);
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut fire = |out: &mut Vec<Finding>, li: usize, col: usize, msg: String| {
+        if cx.in_test[li] || cx.allowed(li, NAME) || !seen.insert((li, col)) {
+            return;
+        }
+        out.push(Finding::new(NAME, cx, li, col, msg));
+    };
+
+    // Rule 1: raw seed-arithmetic chains anywhere.
+    for ch in chains(&flat, 0, flat.len()) {
+        let seedish = ch.operands.iter().position(|op| contains_seed_ident(op));
+        let Some(si) = seedish else { continue };
+        let mixes_variable = ch
+            .operands
+            .iter()
+            .enumerate()
+            .any(|(k, op)| k != si && contains_variable(op));
+        if mixes_variable {
+            let (li, t) = &flat[ch.start];
+            fire(
+                out,
+                *li,
+                t.col,
+                "raw seed arithmetic mixes a seed with a runtime variable; derive per-stream \
+                 seeds via stream_seed(seed, idx) chained mixing instead"
+                    .to_string(),
+            );
+        }
+    }
+
+    // Rule 2: RNG constructors fed ad-hoc mixed seeds.
+    for k in 0..flat.len() {
+        let t = &flat[k].1;
+        let is_ctor = t.kind == TokKind::Ident
+            && (t.text == "seed_from_u64"
+                || t.text == "from_seed"
+                || (t.text == "new" && path_head(&flat, k) == Some("SplitMix64")));
+        if !is_ctor {
+            continue;
+        }
+        let Some(open) = next_is_open_paren(&flat, k) else {
+            continue;
+        };
+        let Some(close) = matching_paren(&flat, open) else {
+            continue;
+        };
+        for ch in chains(&flat, open + 1, close) {
+            let vars = ch
+                .operands
+                .iter()
+                .filter(|op| contains_variable(op))
+                .count();
+            if vars >= 2 {
+                let (li, t) = &flat[ch.start];
+                fire(
+                    out,
+                    *li,
+                    t.col,
+                    "RNG constructed from an ad-hoc mix of runtime values; derive the stream \
+                     seed via stream_seed(seed, idx) before construction"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Rule 3: seed.wrapping_add/mul/sub(variable).
+    for k in 0..flat.len() {
+        let t = &flat[k].1;
+        let seedish = t.kind == TokKind::Ident
+            && (t.text == "seed" || t.text.ends_with("_seed"))
+            && flat.get(k + 1).map(|(_, n)| n.text.as_str()) == Some(".");
+        if !seedish {
+            continue;
+        }
+        let Some((_, m)) = flat.get(k + 2) else {
+            continue;
+        };
+        if !matches!(
+            m.text.as_str(),
+            "wrapping_add" | "wrapping_mul" | "wrapping_sub"
+        ) {
+            continue;
+        }
+        let Some(open) = next_is_open_paren(&flat, k + 2) else {
+            continue;
+        };
+        let Some(close) = matching_paren(&flat, open) else {
+            continue;
+        };
+        if contains_variable(&flat[open + 1..close]) {
+            let (li, t0) = &flat[k];
+            fire(
+                out,
+                *li,
+                t0.col,
+                "raw seed arithmetic via wrapping ops; derive per-stream seeds with \
+                 stream_seed(seed, idx) instead"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// If `flat[k+1]` is `(`, returns its index.
+fn next_is_open_paren(flat: &[(usize, Tok)], k: usize) -> Option<usize> {
+    match flat.get(k + 1) {
+        Some((_, t)) if t.text == "(" => Some(k + 1),
+        _ => None,
+    }
+}
+
+/// For `Head::name` at index `k` of `name`, returns `Head`.
+fn path_head(flat: &[(usize, Tok)], k: usize) -> Option<&str> {
+    if k >= 3 && flat[k - 1].1.text == ":" && flat[k - 2].1.text == ":" {
+        Some(flat[k - 3].1.text.as_str())
+    } else {
+        None
+    }
+}

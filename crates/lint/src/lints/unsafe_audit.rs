@@ -1,0 +1,33 @@
+//! `unsafe-audit` — the workspace is structurally `unsafe`-free.
+//!
+//! The reproduction has never needed `unsafe`; every determinism guarantee
+//! assumes no UB can scramble results. Any `unsafe` token is a finding,
+//! *including in test code*, and the lint deliberately ignores allow
+//! pragmas — dropping the guarantee is a design decision that belongs in a
+//! lint change, not a one-line waiver. The companion workspace-level check
+//! (`crate_root_forbids_unsafe` in the driver) flags crate roots missing
+//! `#![forbid(unsafe_code)]`, so the attribute cannot be silently dropped.
+
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::Finding;
+
+const NAME: &str = "unsafe-audit";
+
+pub fn check(cx: &FileContext, out: &mut Vec<Finding>) {
+    for (li, toks) in cx.tokens.iter().enumerate() {
+        for t in toks {
+            if t.kind == TokKind::Ident && t.text == "unsafe" {
+                out.push(Finding::new(
+                    NAME,
+                    cx,
+                    li,
+                    t.col,
+                    "`unsafe` is forbidden workspace-wide (zero-unsafe invariant); this lint \
+                     accepts no waivers"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

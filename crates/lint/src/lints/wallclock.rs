@@ -1,0 +1,44 @@
+//! `wallclock-in-results` — wall-clock types in artifact-producing code.
+//!
+//! Every artifact (golden CSVs, BENCH_*.json inputs, statistical suites)
+//! must be a pure function of the seed; `Instant`/`SystemTime` reachable
+//! from result-affecting code is how timing sneaks into outputs (adaptive
+//! cutoffs, time-based retries). Timing belongs to the `rm-bench` crate's
+//! measurement modules, which are exempt. A deliberate telemetry-only use
+//! (e.g. reporting `wall_ms` without influencing selection) is waived with
+//! `// rm-lint: allow(wallclock-in-results)` plus a justification.
+
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::Finding;
+
+const NAME: &str = "wallclock-in-results";
+
+pub fn check(cx: &FileContext, out: &mut Vec<Finding>) {
+    if cx.crate_name() == "bench" {
+        return;
+    }
+    for (li, toks) in cx.tokens.iter().enumerate() {
+        if cx.in_test[li] {
+            continue;
+        }
+        for t in toks {
+            if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+                if cx.allowed(li, NAME) {
+                    continue;
+                }
+                out.push(Finding::new(
+                    NAME,
+                    cx,
+                    li,
+                    t.col,
+                    format!(
+                        "{} in result-affecting code: results must be functions of the seed \
+                         only; move timing to rm-bench or waive telemetry-only uses",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! `rm-lint` CLI.
+//!
+//! ```text
+//! rm-lint [--json] [--root DIR] [--list]
+//! ```
+//!
+//! Exit codes: 0 — clean; 1 — findings; 2 — usage or I/O error. The root
+//! defaults to the nearest ancestor of the current directory whose
+//! `Cargo.toml` declares `[workspace]`.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("rm-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: rm-lint [--json] [--root DIR] [--list]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rm-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for def in rm_lint::REGISTRY {
+            println!("{:<22} {}", def.name, def.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("rm-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match rm_lint::analyze_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", rm_lint::render_json(&report));
+            } else {
+                print!("{}", rm_lint::render_human(&report));
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("rm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Nearest ancestor whose Cargo.toml contains a `[workspace]` table.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: scheduler-dependent float accumulation inside thread::scope —
+// two findings expected (lines 11 and 21).
+use std::sync::Mutex;
+
+pub fn total(chunks: &[Vec<f64>]) -> f64 {
+    let acc = Mutex::new(0.0f64);
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            s.spawn(|| {
+                let partial: f64 = chunk.iter().sum();
+                *acc.lock().unwrap() += partial;
+            });
+        }
+    });
+    acc.into_inner().unwrap()
+}
+
+pub fn inline_sum(chunks: &[Vec<f64>]) -> f64 {
+    let mut out = 0.0f64;
+    std::thread::scope(|s| {
+        let h = s.spawn(|| chunks.iter().flatten().sum::<f64>());
+        out = h.join().unwrap();
+    });
+    out
+}

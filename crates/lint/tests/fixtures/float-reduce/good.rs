@@ -1,0 +1,30 @@
+// Fixture: deterministic reductions — no findings.
+pub fn total(chunks: &[Vec<f64>]) -> f64 {
+    // Per-thread slots, merged after the scope in index order.
+    let mut partials = vec![0.0f64; chunks.len()];
+    std::thread::scope(|s| {
+        for (slot, chunk) in partials.iter_mut().zip(chunks) {
+            s.spawn(move || {
+                let mut acc = 0u64;
+                for &x in chunk {
+                    acc += x.to_bits();
+                }
+                *slot = chunk.iter().sum();
+            });
+        }
+    });
+    partials.iter().sum()
+}
+
+pub fn documented(chunks: &[Vec<f64>]) -> f64 {
+    let mut out = 0.0f64;
+    std::thread::scope(|s| {
+        // MERGE ORDER: single worker; joined before the next spawn, so the
+        // accumulation order is the chunk order regardless of scheduling.
+        for chunk in chunks {
+            let h = s.spawn(move || chunk.iter().sum::<f64>());
+            out += h.join().unwrap_or(0.0);
+        }
+    });
+    out
+}

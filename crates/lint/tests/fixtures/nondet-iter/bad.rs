@@ -1,0 +1,10 @@
+// Fixture: hash collections in live code — two findings expected
+// (lines 4 and 8).
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m = std::collections::HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0usize) += 1;
+    }
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    m.len() + s.len()
+}

@@ -1,0 +1,23 @@
+// Fixture: deterministic alternatives and sanctioned uses — no findings.
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m = std::collections::BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0usize) += 1;
+    }
+    // Membership-only dedup, never iterated. rm-lint: allow(nondet-iter)
+    let mut seen = std::collections::HashSet::new();
+    let uniq = xs.iter().filter(|&&x| seen.insert(x)).count();
+    m.len() + uniq
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

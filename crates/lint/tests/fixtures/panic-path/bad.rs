@@ -1,0 +1,16 @@
+// Fixture (judged as a hot-path file): four findings expected
+// (lines 4, 9, 11, 15).
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    if i >= xs.len() {
+        panic!("out of range");
+    }
+    xs[i]
+}
+
+pub fn named(m: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    *m.get(&k).expect("key must exist")
+}

@@ -1,0 +1,42 @@
+// Fixture (judged as a hot-path file): infallible constructs, justified
+// panics, and documented indexing — no findings.
+
+// INVARIANT(indexing): indices in this file come from enumerate() over the
+// indexed slice itself.
+
+pub fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn pick(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap_or_default()
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    // INVARIANT: callers guarantee xs is non-empty (constructor rejects
+    // empty batches).
+    xs.first().copied().expect("non-empty by construction")
+}
+
+pub fn scaled(xs: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for (i, _) in xs.iter().enumerate() {
+        acc += u64::from(xs[i]);
+    }
+    acc
+}
+
+pub fn debug_checked(xs: &[u32]) -> u32 {
+    debug_assert!(!xs.is_empty(), "debug_assert is free");
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let xs = [1u32, 2];
+        assert_eq!(xs[1], 2);
+        assert!(xs.first().copied().unwrap() == 1);
+    }
+}

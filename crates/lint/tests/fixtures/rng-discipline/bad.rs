@@ -1,0 +1,16 @@
+// Fixture: raw seed arithmetic — three findings expected (lines 5, 11, 15).
+pub fn spawn_streams(seed: u64, workers: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    for i in 0..workers as u64 {
+        out.push(seed ^ i);
+    }
+    out
+}
+
+pub fn worker_rng(seed: u64, tid: u64) -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::seed_from_u64(seed.wrapping_add(tid))
+}
+
+pub fn salted(base_seed: u64, round: u64) -> u64 {
+    base_seed + round * 7
+}

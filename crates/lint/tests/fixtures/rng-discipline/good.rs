@@ -1,0 +1,21 @@
+// Fixture: sanctioned seed derivations — no findings.
+use rm_graph::seed::stream_seed;
+
+pub fn spawn_streams(seed: u64, workers: usize) -> Vec<u64> {
+    (0..workers as u64).map(|i| stream_seed(seed, i)).collect()
+}
+
+pub fn salted(seed: u64) -> u64 {
+    // Constant salts are domain separation, not stream derivation.
+    seed ^ 0xA5A5_0001
+}
+
+pub fn salted_named(seed: u64) -> u64 {
+    const EVAL_SALT: u64 = 0x00C0_FFEE;
+    seed ^ EVAL_SALT
+}
+
+pub fn waived(seed: u64, i: u64) -> u64 {
+    // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
+    seed ^ (i << 20)
+}

@@ -1,0 +1,15 @@
+// Fixture: any unsafe token, even in test code — two findings expected
+// (lines 4 and 12).
+pub fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_may_not_use_unsafe() {
+        let x = 5u64;
+        let y = unsafe { std::mem::transmute::<u64, i64>(x) };
+        assert_eq!(y, 5);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: safe code only — no findings. Mentions of the word in comments
+// ("unsafe") and strings do not count; only code tokens do.
+pub fn peek(xs: &[u32]) -> u32 {
+    let label = "unsafe is banned here";
+    xs.first().copied().unwrap_or(label.len() as u32)
+}

@@ -1,0 +1,13 @@
+// Fixture: wall-clock types in result-affecting code — two findings
+// expected (lines 4 and 9).
+pub fn jitter() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn stamp() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

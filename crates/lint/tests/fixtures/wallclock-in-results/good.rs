@@ -1,0 +1,18 @@
+// Fixture: sanctioned timing — no findings. (Judged as a non-bench file;
+// the rm-bench crate is exempt wholesale.)
+pub fn telemetry() -> std::time::Duration {
+    // Telemetry only, never feeds results. rm-lint: allow(wallclock-in-results)
+    let t = std::time::Instant::now();
+    t.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 3600);
+    }
+}

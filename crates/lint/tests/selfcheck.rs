@@ -1,0 +1,77 @@
+//! The analyzer's own acceptance gate: the live workspace is clean, and
+//! reintroducing either of the two historical bug classes — hash-order
+//! iteration and raw-arithmetic seed derivation — fires immediately.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint lives two levels below the workspace root")
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let report = rm_lint::analyze_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        report.files_scanned > 40,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    let rendered = rm_lint::render_human(&report);
+    assert!(
+        report.findings.is_empty(),
+        "rm-lint must be clean on the live workspace:\n{rendered}"
+    );
+}
+
+#[test]
+fn reintroduced_hash_iteration_fires() {
+    let findings = rm_lint::analyze_source(
+        "crates/core/src/allocation.rs",
+        "pub fn is_disjoint(seeds: &[Vec<u32>]) -> bool {\n\
+         \x20   let mut seen = std::collections::HashSet::new();\n\
+         \x20   seeds.iter().flatten().all(|&u| seen.insert(u))\n\
+         }\n",
+    );
+    assert!(
+        findings.iter().any(|f| f.lint == "nondet-iter"),
+        "the pre-PR HashSet-based is_disjoint must be flagged"
+    );
+}
+
+#[test]
+fn reintroduced_raw_seed_arithmetic_fires() {
+    let findings = rm_lint::analyze_source(
+        "crates/core/src/instance.rs",
+        "pub fn per_ad_seed(seed: u64, i: u64) -> u64 {\n\
+         \x20   seed ^ (i << 40)\n\
+         }\n",
+    );
+    assert!(
+        findings.iter().any(|f| f.lint == "rng-discipline"),
+        "raw per-ad seed derivation must be flagged"
+    );
+}
+
+#[test]
+fn stripping_a_forbid_attr_fires() {
+    // Simulate a crate root losing #![forbid(unsafe_code)] by scanning a
+    // temp workspace with one bare crate.
+    let dir = std::env::temp_dir().join(format!("rm-lint-selfcheck-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(src.join("lib.rs"), "pub fn f() {}\n").expect("write");
+    let report = rm_lint::analyze_workspace(&dir).expect("scan");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.lint == "unsafe-audit" && f.path == "crates/demo/src/lib.rs"),
+        "missing forbid(unsafe_code) must be flagged"
+    );
+}

@@ -8,6 +8,12 @@
 //! in place (no per-set allocation), per-thread arenas splice in index
 //! order, and the coverage index ingests the slices directly.
 
+// INVARIANT(indexing): all computed indices in this file are bounded by
+// construction — node ids come from the owning CsrGraph (< num_nodes) and
+// slot/offset arithmetic is derived from lengths computed in the same
+// function. Bounds are exercised by the crate test suite; new indexing
+// must preserve this discipline.
+
 use rm_graph::NodeId;
 
 /// A growable, flat collection of RR sets (CSR layout).

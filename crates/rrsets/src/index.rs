@@ -24,6 +24,12 @@
 //! directions (their contribution lives on in `covered_total`), so resident
 //! memory tracks the live sample instead of everything ever ingested.
 
+// INVARIANT(indexing): all computed indices in this file are bounded by
+// construction — node ids come from the owning CsrGraph (< num_nodes) and
+// slot/offset arithmetic is derived from lengths computed in the same
+// function. Bounds are exercised by the crate test suite; new indexing
+// must preserve this discipline.
+
 use rm_graph::NodeId;
 
 use crate::arena::RrArena;
@@ -156,8 +162,12 @@ impl RrCoverage {
     /// sets are worth reclaiming — so a run of tiny growth batches stays
     /// linear overall.
     pub fn add_batch(&mut self, sets: &RrArena, is_seed: &[bool]) -> usize {
+        // INVARIANT: API contract — the mask length defines the node space;
+        // a short mask would silently mis-classify high node ids.
         assert_eq!(is_seed.len(), self.n, "seed mask must cover every node");
         let mut arrived_covered = 0;
+        // INVARIANT: entry counts are capped far below u32::MAX by the
+        // sample-size valve; overflow indicates a sizing bug, not data.
         let to_u32 = |len: usize| u32::try_from(len).expect("coverage index exceeds u32 entries");
         for set in sets.iter() {
             if set.iter().any(|&u| is_seed[u as usize]) {
@@ -200,6 +210,7 @@ impl RrCoverage {
         let mut nodes: Vec<NodeId> = Vec::with_capacity(live_entries);
         let mut offsets: Vec<u32> = Vec::with_capacity(old_covered.len() - self.covered_live + 1);
         offsets.push(0);
+        // INVARIANT: compaction only shrinks; see add_batch's cap argument.
         let to_u32 = |len: usize| u32::try_from(len).expect("coverage index exceeds u32 entries");
         for sid in 0..old_covered.len() {
             if old_covered[sid] {
@@ -236,6 +247,7 @@ impl RrCoverage {
         let mut acc = 0u32;
         for &len in &byte_len {
             acc = acc
+                // INVARIANT: same u32 sizing cap as add_batch.
                 .checked_add(len)
                 .expect("inverted index exceeds u32 bytes");
             self.inv_offsets.push(acc);

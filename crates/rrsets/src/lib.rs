@@ -32,6 +32,8 @@
 //!   from one sample) and for algorithm-independent evaluation of final
 //!   allocations.
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod estimator;
 pub mod im;

@@ -119,7 +119,10 @@ impl StoppingRule {
     /// Rule for a graph with `n` nodes at accuracy ε and confidence
     /// exponent ℓ (the [`crate::TimConfig`] parameters).
     pub fn new(n: usize, epsilon: f64, ell: f64) -> Self {
+        // INVARIANT: constructor contract — the stopping-rule bounds are
+        // meaningless outside these parameter ranges.
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        // INVARIANT: constructor contract (see above).
         assert!(ell > 0.0, "ell must be positive");
         let n_f = (n.max(2)) as f64;
         // Base failure budget n^{-ℓ}, split per check by

@@ -4,6 +4,12 @@
 //! equivalence). Both modes sample directly into an [`RrArena`] with no
 //! per-set heap allocation.
 
+// INVARIANT(indexing): all computed indices in this file are bounded by
+// construction — node ids come from the owning CsrGraph (< num_nodes) and
+// slot/offset arithmetic is derived from lengths computed in the same
+// function. Bounds are exercised by the crate test suite; new indexing
+// must preserve this discipline.
+
 use std::sync::Arc;
 
 use rand::Rng;
@@ -459,10 +465,13 @@ fn gather_lt_tables(g: &CsrGraph, weights: &AdProbs) -> (Vec<LtSlot>, Vec<u32>) 
                 small.push(l);
             }
         }
-        // Zero-weight guard (see the doc comment above).
-        let first_pos = (0..m)
-            .find(|&j| weight_of(j) > 0.0)
-            .expect("total > 0 implies a positive weight");
+        // Zero-weight guard (see the doc comment above). `total > 0` implies
+        // some weight is positive, but stay infallible rather than unwrap:
+        // an all-zero node simply keeps self-aliases, which are never hit
+        // because pick_thr already sends the walk past it.
+        let Some(first_pos) = (0..m).find(|&j| weight_of(j) > 0.0) else {
+            continue;
+        };
         for j in 0..m {
             if weight_of(j) <= 0.0 {
                 slots[lo + j].thr = 0;
@@ -619,32 +628,10 @@ fn sample_range(
     (arena, widths)
 }
 
-/// SplitMix64 — used to derive independent per-set RNG streams so batches are
-/// deterministic in `(seed, set index)` regardless of thread scheduling.
-#[inline]
-pub(crate) fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Seed of the `idx`-th RNG stream of base seed `seed`, derived by *chained*
-/// mixing: `mix64(mix64(seed) ^ idx)`.
-///
-/// The chaining matters. Xor-composing (`mix64(seed ^ idx)`) lets two base
-/// seeds that differ by a small xor (e.g. per-advertiser salts `j << 20`)
-/// produce byte-identical streams at shifted indices — ad `j`'s set `i` would
-/// equal ad `j'`'s set `i ^ ((j ^ j') << 20)`, silently duplicating RR sets
-/// across advertisers once samples grow past the shift. Passing the base
-/// seed through `mix64` first decorrelates the index spaces. Callers deriving
-/// per-advertiser (or per-round) base seeds should use this same function
-/// with the advertiser index as `idx`.
-#[inline]
-pub fn stream_seed(seed: u64, idx: u64) -> u64 {
-    mix64(mix64(seed) ^ idx)
-}
+// The canonical seed-derivation helpers (`mix64`, `stream_seed`) live in
+// `rm_graph::seed` so every crate can reach them; re-exported here because
+// `rm_rrsets::stream_seed` is the historical public path.
+pub use rm_graph::seed::{mix64, stream_seed};
 
 /// Contiguous, non-overlapping worker ranges covering `0..count`. The last
 /// ranges are clamped (and may be empty) when `count` does not divide evenly.
@@ -798,6 +785,8 @@ impl PreparedSampler {
                 .collect();
             // Splice the per-thread arenas in index order.
             for handle in handles {
+                // INVARIANT: a sampler-worker panic leaves the batch
+                // incomplete; propagating is the only sound response.
                 let (part, part_widths) = handle.join().expect("sampler worker panicked");
                 arena.append(&part);
                 widths.extend(part_widths);

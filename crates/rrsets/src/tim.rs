@@ -134,6 +134,7 @@ impl KptEstimator {
             let c_i = ((6.0 * cfg.ell * n_f.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32)).ceil()
                 as usize;
             let c_i = c_i.min(cfg.max_sets_per_ad.max(1));
+            // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
             let (_, widths) = sampler.sample_batch(g, c_i, seed ^ (i as u64) << 48, 0);
             let sum: f64 = widths.iter().map(|&w| kappa(w, m, k)).sum();
             let mean = sum / c_i as f64;

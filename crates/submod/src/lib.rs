@@ -11,6 +11,8 @@
 //! exhaustively on small ground sets and reused by `rm-core` for the exact
 //! CA-GREEDY / CS-GREEDY reference algorithms.
 
+#![forbid(unsafe_code)]
+
 pub mod bitset;
 pub mod bounds;
 pub mod curvature;

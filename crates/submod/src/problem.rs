@@ -39,15 +39,9 @@ impl Allocation {
 
     /// True if no node appears in two different seed sets (or twice).
     pub fn is_disjoint(&self) -> bool {
-        let mut seen = std::collections::HashSet::new();
-        for set in &self.seed_sets {
-            for &u in set {
-                if !seen.insert(u) {
-                    return false;
-                }
-            }
-        }
-        true
+        let mut all: Vec<usize> = self.seed_sets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.windows(2).all(|w| w[0] != w[1])
     }
 }
 
@@ -255,6 +249,12 @@ mod tests {
             seed_sets: vec![vec![0], vec![0]],
         };
         assert!(!p.is_feasible(&overlap));
+        // Duplicate within one set trips the same matroid check (regression
+        // guard for the sorted-Vec rewrite of the HashSet-based version).
+        let dup_within = Allocation {
+            seed_sets: vec![vec![1, 1], vec![]],
+        };
+        assert!(!dup_within.is_disjoint());
         let busted = Allocation {
             seed_sets: vec![vec![0, 1, 2], vec![]],
         };

@@ -57,6 +57,8 @@
 //! assert!(stats.total_revenue() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rm_core as core;
 pub use rm_diffusion as diffusion;
 pub use rm_graph as graph;

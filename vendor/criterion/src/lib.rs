@@ -120,7 +120,7 @@ impl Bencher<'_> {
     /// drops are **not** deferred outside the timed region — deallocation
     /// cost is included in every sample.
     pub fn iter_with_large_drop<T, F: FnMut() -> T>(&mut self, routine: F) {
-        self.iter(routine)
+        self.iter(routine);
     }
 }
 
@@ -298,7 +298,7 @@ mod tests {
         group.throughput(Throughput::Elements(100));
         group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         group.finish();
     }

@@ -43,7 +43,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u32()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
