@@ -80,6 +80,43 @@ fn bench_rrsets_throughput(c: &mut Criterion) {
             idx.num_sets()
         });
     });
+
+    // Shared-pool arm (PR 8): three identical-model tenants served by ONE
+    // group arena. Each iteration extends the group's logical stream by a
+    // batch through `with_range` — the pooled counterpart of
+    // `sample_batch_50k`, so the delta is pool bookkeeping (lock + arena
+    // append), not sampling.
+    let models = vec![
+        DiffusionModel::ic(probs.clone()),
+        DiffusionModel::ic(probs.clone()),
+        DiffusionModel::ic(probs.clone()),
+    ];
+    let pool = rm_rrsets::SharedRrPool::build(&g, &models, 7, usize::MAX);
+    group.bench_function("pool_grow_identical_3ads_50k", |b| {
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            pool.with_range(
+                &g,
+                0,
+                (round - 1) * BATCH,
+                round * BATCH,
+                |arena, _, hi, _| (arena.len(), hi),
+            )
+        });
+    });
+
+    // Weighted ingestion: the reweighted-tenant path of the coverage index
+    // (per-set f32 importance mass instead of unit counts).
+    let unit_weights = vec![1.0f32; BATCH];
+    group.bench_function("coverage_ingest_weighted_50k", |b| {
+        let mask = vec![false; N];
+        b.iter(|| {
+            let mut idx = RrCoverage::new_weighted(N);
+            idx.add_range_weighted(&sets, 0, BATCH, &mask, &unit_weights);
+            idx.num_sets()
+        });
+    });
     group.finish();
 
     // Not a timing: the resident bytes the index reports for this sample

@@ -5,7 +5,7 @@
 //!             [--selection-threads n]
 //!
 //! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality
-//!      ablation-lazy ablation-term ablation-singleton ablation-opim
+//!      ablation-lazy ablation-term ablation-singleton ablation-opim pool-ablation
 //!      quality   (fig2+fig3+fig4)
 //!      scalability (fig5+table3)
 //!      all
@@ -90,6 +90,7 @@ fn run(id: &str, opts: Opts) {
         "ablation-term" => experiments::ablation_termination(opts),
         "ablation-singleton" => experiments::ablation_singleton(opts),
         "ablation-opim" => experiments::ablation_opim(opts),
+        "pool-ablation" => experiments::pool_ablation(opts),
         "quality" => {
             experiments::fig2_fig3(opts);
             experiments::fig4(opts);
@@ -108,6 +109,7 @@ fn run(id: &str, opts: Opts) {
             experiments::ablation_termination(opts);
             experiments::ablation_singleton(opts);
             experiments::ablation_opim(opts);
+            experiments::pool_ablation(opts);
         }
         other => {
             eprintln!("unknown experiment id: {other}");
@@ -124,6 +126,6 @@ fn usage() {
               [--selection-threads n]\n\
          ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality\n\
               ablation-lazy ablation-term ablation-singleton ablation-opim\n\
-              quality scalability all"
+              pool-ablation quality scalability all"
     );
 }

@@ -610,6 +610,105 @@ pub fn ablation_opim(opts: Opts) {
     );
 }
 
+/// Ablation (PR 8): shared cross-advertiser RR pool vs private per-ad
+/// streams. The first arm is the fig5-style h-sweep — `h` identical ads
+/// over one Weighted-Cascade model, where the pool serves every ad from a
+/// single group arena, so total RR sets sampled should grow sublinearly in
+/// `h` while the private baseline grows as `h·θ`. The second arm puts four
+/// distinct-or-equal topic mixtures over ONE topical TIC table to exercise
+/// the importance-reweighted tenant path. The `rr_pool_sharing` entry of
+/// `BENCH_rrsets.json` records a full-size run of this experiment.
+pub fn pool_ablation(opts: Opts) {
+    let mut t = Table::new(
+        "pool_ablation",
+        &[
+            "workload",
+            "h",
+            "rr_sharing",
+            "rr_sets",
+            "pool_groups",
+            "pooled_ads",
+            "reweighted_ads",
+            "mem_mib",
+            "time_s",
+            "revenue",
+            "seeds",
+        ],
+    );
+    let ds = SyntheticDataset::DblpLike;
+    let s = lj_scale(ds, opts.scale);
+    let push_run = |t: &mut Table, workload: &str, h: usize, inst: &RmInstance, sharing: bool| {
+        let cfg = ScalableConfig {
+            rr_sharing: sharing,
+            ..opts.engine_cfg(scalability_config(opts.seed))
+        };
+        let (alloc, stats) = TiEngine::new(inst, AlgorithmKind::TiCsrm, cfg).run();
+        let eval = EvalMethod::RrSets {
+            theta: eval_theta(inst),
+        };
+        let report = evaluate_allocation(inst, &alloc, eval, opts.seed ^ 0x0C);
+        t.push(vec![
+            workload.into(),
+            h.to_string(),
+            if sharing { "on" } else { "off" }.into(),
+            stats.rr_sets_sampled.to_string(),
+            stats.pool_groups.to_string(),
+            stats.pooled_ads.to_string(),
+            stats.reweighted_ads.to_string(),
+            fmt(stats.rr_memory_bytes as f64 / (1024.0 * 1024.0)),
+            fmt(stats.elapsed.as_secs_f64()),
+            fmt(report.total_revenue()),
+            alloc.num_seeds().to_string(),
+        ]);
+        stats.rr_sets_sampled
+    };
+    // Arm 1: identical ads, h-sweep (the fig5 sublinearity claim).
+    let hs: &[usize] = if opts.quick { &[2, 5] } else { &[5, 10, 15] };
+    for &h in hs {
+        let inst = scalability_instance(ds, h, 10_000.0 * s, s, opts.seed);
+        let private = push_run(&mut t, "identical-wc", h, &inst, false);
+        let pooled = push_run(&mut t, "identical-wc", h, &inst, true);
+        println!(
+            "[pool-ablation] h={h}: private {private} sets vs pooled {pooled} \
+             ({:.1}% fewer)",
+            100.0 * (1.0 - pooled as f64 / private.max(1) as f64),
+        );
+    }
+    // Arm 2: one shared 2-topic TIC table, mixtures [.7,.3]/[.3,.7]/[.5,.5]
+    // and a repeat of the founder's — one group, one identical twin, two
+    // reweighted tenants.
+    {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        let graph = std::sync::Arc::new(ds.generate(s, opts.seed));
+        let tic = std::sync::Arc::new(rm_diffusion::TicModel::topical(
+            &graph,
+            2,
+            Default::default(),
+            &mut rng,
+        ));
+        let mixtures: [&[f32]; 4] = [&[0.7, 0.3], &[0.3, 0.7], &[0.5, 0.5], &[0.7, 0.3]];
+        let ads = mixtures
+            .iter()
+            .map(|m| {
+                rm_core::Advertiser::new(1.0, 10_000.0 * s, rm_diffusion::TopicDistribution::new(m))
+            })
+            .collect();
+        let inst = rm_core::RmInstance::build_tic(
+            graph,
+            tic,
+            ads,
+            rm_core::IncentiveModel::Linear { alpha: 0.2 },
+            rm_core::SingletonMethod::OutDegree,
+            opts.seed ^ 0x5CA1E,
+        );
+        let private = push_run(&mut t, "tic-mixtures", 4, &inst, false);
+        let pooled = push_run(&mut t, "tic-mixtures", 4, &inst, true);
+        println!("[pool-ablation] tic-mixtures: private {private} sets vs pooled {pooled}");
+    }
+    t.emit();
+}
+
 /// Ablation: singleton-spread estimation method behind incentive pricing.
 pub fn ablation_singleton(opts: Opts) {
     use rm_core::SingletonMethod;

@@ -52,6 +52,13 @@ pub struct RunStats {
     /// Ads retired early because their remaining budget headroom could not
     /// cover any feasible candidate payment (they stop proposing).
     pub budget_exhausted_ads: usize,
+    /// Model-distinct groups of the shared RR pool (0 when `rr_sharing`
+    /// is off).
+    pub pool_groups: usize,
+    /// Ads served by the shared pool (identical + reweighted tenants).
+    pub pooled_ads: usize,
+    /// Pooled ads reading the shared sets through importance weights.
+    pub reweighted_ads: usize,
 }
 
 impl RunStats {

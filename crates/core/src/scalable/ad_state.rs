@@ -14,10 +14,12 @@ use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, Stopp
 pub(crate) struct Candidate {
     /// Proposed seed node.
     pub v: NodeId,
-    /// Uncovered-set count of `v` on the selection stream at proposal time
+    /// Uncovered-set mass of `v` on the selection stream at proposal time
     /// (still current while the cache is valid — only the ad's own commits
-    /// change its coverage index).
-    pub cov: u32,
+    /// change its coverage index). A plain count for private/identical
+    /// streams — exact, since counts stay far below 2^53 — and a weighted
+    /// sum for reweighted pool tenants.
+    pub cov: f64,
     /// Heap entries popped alongside the candidate (the inspected window),
     /// to be restored when the proposal is committed or invalidated. Empty
     /// for the eager-scan ablation and the PageRank cursors.
@@ -27,7 +29,7 @@ pub(crate) struct Candidate {
 impl Candidate {
     /// Captures a proposal with its inspected window (each node appears at
     /// most once: `pop_valid` never returns a node twice).
-    pub fn new(v: NodeId, cov: u32, popped: Vec<(NodeId, f64)>) -> Self {
+    pub fn new(v: NodeId, cov: f64, popped: Vec<(NodeId, f64)>) -> Self {
         Candidate { v, cov, popped }
     }
 
@@ -124,23 +126,29 @@ impl AdState {
     /// free of the argmax selection bias that would otherwise overstate
     /// revenue (and exhaust budgets early) on the small samples the
     /// stopping rule certifies. Both streams share θ.
+    ///
+    /// For a reweighted pool tenant the fixed-θ selection stream is
+    /// importance-weighted, so the covered mass is the weighted sum — the
+    /// unbiased estimate under the tenant's own mixture. (The validation
+    /// stream is always a private unit-weight sample, so the OnlineBounds
+    /// arm needs no weighting here.)
     pub fn pi(&self, cpe: f64, n: usize) -> f64 {
         if self.theta == 0 {
             return 0.0;
         }
         let covered = match &self.opim {
-            Some(op) => op.val_cov.covered_total(),
-            None => self.cov.covered_total(),
+            Some(op) => op.val_cov.covered_total() as f64,
+            None => self.cov.covered_weight(),
         };
-        cpe * n as f64 * covered as f64 / self.theta as f64
+        cpe * n as f64 * covered / self.theta as f64
     }
 
-    /// Marginal revenue of a candidate with `cov_v` uncovered sets.
-    pub fn delta_pi(&self, cpe: f64, n: usize, cov_v: u32) -> f64 {
+    /// Marginal revenue of a candidate with `cov_v` uncovered mass.
+    pub fn delta_pi(&self, cpe: f64, n: usize, cov_v: f64) -> f64 {
         if self.theta == 0 {
             return 0.0;
         }
-        cpe * n as f64 * cov_v as f64 / self.theta as f64
+        cpe * n as f64 * cov_v / self.theta as f64
     }
 
     /// Current payment `ρ_j(S_j)`.

@@ -102,6 +102,15 @@ pub struct ScalableConfig {
     /// picks the winner — so, like [`Self::sampler_threads`], this only
     /// bounds resource use.
     pub selection_threads: usize,
+    /// Opt-in shared cross-advertiser RR pool
+    /// (`rm_rrsets::pool::SharedRrPool`): ads whose diffusion models
+    /// coincide — or, under TIC, differ only in the topic mixture over one
+    /// shared table — read selection sets from one group arena instead of
+    /// sampling private streams, with per-set importance weights where the
+    /// mixtures differ. `false` (the default) keeps every stream private
+    /// and is bit-identical to builds predating the pool. Validation
+    /// streams (OnlineBounds) stay private either way.
+    pub rr_sharing: bool,
     /// Master RNG seed; every run is deterministic given it.
     pub seed: u64,
     /// Test-only oracle switch: invalidate every cached candidate every
@@ -125,6 +134,7 @@ impl Default for ScalableConfig {
             sampling: SamplingStrategy::FixedTheta,
             sampler_threads: usize::MAX,
             selection_threads: usize::MAX,
+            rr_sharing: false,
             seed: 0x5EED,
             #[cfg(test)]
             refresh_all_rounds: false,
@@ -164,6 +174,9 @@ mod tests {
         assert_eq!(c.sampling, SamplingStrategy::FixedTheta);
         assert_eq!(c.sampler_threads, usize::MAX);
         assert_eq!(c.selection_threads, usize::MAX);
+        // RR sharing is opt-in: off by default so existing runs (and the
+        // PR 7 goldens) stay bit-identical.
+        assert!(!c.rr_sharing);
         assert_eq!(SamplingStrategy::OnlineBounds.name(), "online-bounds");
         let s = ScalableConfig::scalability();
         assert_eq!(s.epsilon, 0.3);

@@ -31,8 +31,8 @@ use std::time::Instant;
 
 use rm_graph::NodeId;
 use rm_rrsets::{
-    opim, stream_seed, KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule,
-    TimConfig,
+    opim, stream_seed, KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, SharedRrPool,
+    StoppingRule, TenantMode, TimConfig,
 };
 
 use crate::allocation::SeedAllocation;
@@ -78,7 +78,10 @@ impl<'a> TiEngine<'a> {
 
         let mut stats = RunStats::default();
         let mut assigned = vec![false; n];
-        let mut ads = self.init_ads(&tim);
+        // Opt-in shared RR pool: one reference arena per model-distinct ad
+        // group; `None` (the default) keeps every stream private.
+        let rr_pool = self.build_rr_pool();
+        let mut ads = self.init_ads(&tim, rr_pool.as_ref());
         let mut rr_cursor = 0usize; // PageRank-RR advertiser rotation
 
         // Resolved once: the round loop must not re-query hardware
@@ -115,7 +118,16 @@ impl<'a> TiEngine<'a> {
                     stats.rounds += 1;
                     // Commit + fixups (lines 10–14 and 17–22), batched
                     // across the affected ads.
-                    self.commit_round(&mut ads, i, v, &assigned, &tim, &pool, &mut stats);
+                    self.commit_round(
+                        &mut ads,
+                        i,
+                        v,
+                        &assigned,
+                        &tim,
+                        &pool,
+                        rr_pool.as_ref(),
+                        &mut stats,
+                    );
                 }
                 None => {
                     // No feasible candidate anywhere this round.
@@ -145,24 +157,70 @@ impl<'a> TiEngine<'a> {
             stats.latent_size_per_ad[i] = st.s_latent;
             stats.revenue_per_ad[i] = st.pi(self.inst.ads[i].cpe, n);
             stats.seeding_cost_per_ad[i] = st.cost_total;
-            // Table 3 reports the live sample: sets covered by seeds
-            // committed since the last growth batch still hold storage, so
-            // compact before reading the footprint.
-            st.cov.compact();
-            stats.rr_memory_bytes += st.cov.memory_bytes() + st.sampler.memory_bytes();
+            stats.rr_memory_bytes += terminal_ad_bytes(&mut st);
             shared_table_bytes = shared_table_bytes.max(st.sampler.shared_table_bytes());
-            if let Some(op) = st.opim.as_mut() {
-                op.val_cov.compact();
-                stats.rr_memory_bytes += op.val_cov.memory_bytes();
-            }
             stats.rr_sets_sampled += st.samples;
             stats.bound_checks += st.bound_checks;
             stats.sample_capped |= st.capped;
             alloc.seeds[i] = st.seeds;
         }
         stats.rr_memory_bytes += shared_table_bytes;
+        // Pool arenas, weights and tables are cross-ad state: counted once
+        // here, never in the per-ad pass above (pooled ads' `samples`
+        // likewise exclude the shared sets, so each set is counted exactly
+        // once no matter how many tenants read it).
+        if let Some(p) = &rr_pool {
+            stats.rr_memory_bytes += p.memory_bytes();
+            stats.rr_sets_sampled += p.sets_sampled();
+            stats.pool_groups = p.num_groups();
+            stats.pooled_ads = p.pooled_ads();
+            stats.reweighted_ads = p.reweighted_ads();
+        }
         stats.elapsed = start.elapsed();
         (alloc, stats)
+    }
+
+    /// Builds the shared cross-advertiser RR pool when
+    /// [`ScalableConfig::rr_sharing`] is on: ads grouped by diffusion model
+    /// in ad-index order (`rm_rrsets::pool`). `None` keeps every stream
+    /// private — bit-identical to builds predating the pool.
+    fn build_rr_pool(&self) -> Option<SharedRrPool> {
+        if !self.cfg.rr_sharing {
+            return None;
+        }
+        let models: Vec<_> = (0..self.inst.num_ads())
+            .map(|j| self.inst.model(j))
+            .collect();
+        Some(SharedRrPool::build(
+            &self.inst.graph,
+            &models,
+            self.cfg.seed,
+            self.cfg.sampler_threads,
+        ))
+    }
+
+    /// Adds the shared pool's sets `lo..hi` to the ad's selection index —
+    /// weighted ingestion for reweighted tenants, plain counts otherwise.
+    /// Returns `false` when the ad is not pooled (no pool, or private
+    /// fallback): the caller must sample privately.
+    fn pooled_add_range(
+        &self,
+        st: &mut AdState,
+        rr_pool: Option<&SharedRrPool>,
+        lo: usize,
+        hi: usize,
+    ) -> bool {
+        let Some(p) = rr_pool else { return false };
+        let AdState {
+            idx, cov, is_seed, ..
+        } = st;
+        p.with_range(&self.inst.graph, *idx, lo, hi, |arena, lo, hi, w| {
+            match w {
+                Some(w) => cov.add_range_weighted(arena, lo, hi, is_seed, w),
+                None => cov.add_range(arena, lo, hi, is_seed),
+            };
+        })
+        .is_some()
     }
 
     /// Phase 1 of a round: (re-)evaluates the candidate of every live ad
@@ -209,6 +267,7 @@ impl<'a> TiEngine<'a> {
         assigned: &[bool],
         tim: &TimConfig,
         pool: &SelectionPolicy,
+        rr_pool: Option<&SharedRrPool>,
         stats: &mut RunStats,
     ) {
         let cacheable = self.cacheable();
@@ -246,7 +305,7 @@ impl<'a> TiEngine<'a> {
             // candidate this round (the winner and contended losers).
             let cand = st.candidate.take().expect("fixup jobs hold a candidate");
             if st.idx == winner {
-                self.commit_winner(st, &cand, assigned, tim, scratch);
+                self.commit_winner(st, &cand, assigned, tim, rr_pool, scratch);
             } else {
                 self.restore(st, &cand, false);
             }
@@ -260,6 +319,7 @@ impl<'a> TiEngine<'a> {
         cand: &Candidate,
         assigned: &[bool],
         tim: &TimConfig,
+        rr_pool: Option<&SharedRrPool>,
         stats: &mut RunStats,
     ) {
         self.restore(st, cand, true);
@@ -282,7 +342,7 @@ impl<'a> TiEngine<'a> {
         }
         // Lines 17–22: latent seed-set-size update + sample growth.
         if st.seeds.len() >= st.s_latent {
-            self.update_latent(st, assigned, tim, stats);
+            self.update_latent(st, assigned, tim, rr_pool, stats);
         }
     }
 
@@ -441,7 +501,7 @@ impl<'a> TiEngine<'a> {
     /// tables live at once. Results are keyed by ad index, so the output
     /// (and every downstream tie-break) is deterministic regardless of
     /// scheduling.
-    fn init_ads(&self, tim: &TimConfig) -> Vec<AdState> {
+    fn init_ads(&self, tim: &TimConfig, rr_pool: Option<&SharedRrPool>) -> Vec<AdState> {
         let h = self.inst.num_ads();
         let needs_pagerank = matches!(
             self.kind,
@@ -466,7 +526,7 @@ impl<'a> TiEngine<'a> {
             return pr_orders
                 .drain(..)
                 .enumerate()
-                .map(|(j, pr_order)| self.init_ad(j, tim, pr_order, inner_threads))
+                .map(|(j, pr_order)| self.init_ad(j, tim, pr_order, inner_threads, rr_pool))
                 .collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -483,7 +543,7 @@ impl<'a> TiEngine<'a> {
                         if j >= h {
                             break;
                         }
-                        let st = self.init_ad(j, tim, pr_orders[j].clone(), inner_threads);
+                        let st = self.init_ad(j, tim, pr_orders[j].clone(), inner_threads, rr_pool);
                         // INVARIANT: poisoning implies a sibling panicked;
                         // propagate rather than run with partial ad state.
                         *slots[j].lock().expect("ad-init slot poisoned") = Some(st);
@@ -514,17 +574,38 @@ impl<'a> TiEngine<'a> {
     /// made ad `j`'s set `i` share its RNG stream with ad `j'`'s set
     /// `i ^ ((j ^ j') << 20)`, duplicating RR sets across advertisers once
     /// samples grew past the shift.
-    fn init_ad(&self, j: usize, tim: &TimConfig, pr_order: Vec<NodeId>, threads: usize) -> AdState {
+    fn init_ad(
+        &self,
+        j: usize,
+        tim: &TimConfig,
+        pr_order: Vec<NodeId>,
+        threads: usize,
+        rr_pool: Option<&SharedRrPool>,
+    ) -> AdState {
         let n = self.inst.num_nodes();
         let g = &self.inst.graph;
         // Model-generic sampling: the prepared tables are IC acceptance
         // thresholds or LT alias tables depending on the instance's model.
+        // Pooled ads keep a private sampler too — the OnlineBounds
+        // validation stream is never shared, and the fallback paths need it.
         let mut sampler = PreparedSampler::for_model(g, &self.inst.model(j));
         sampler.set_thread_cap(threads);
+        let pool_mode = rr_pool.map_or(TenantMode::Private, |p| p.mode(j));
         let kpt_seed = stream_seed(self.cfg.seed ^ 0x4B50_7E57, j as u64);
         // One KPT pilot serves both strategies: Eq. 8's θ is the fixed-θ
-        // sample size and the online mode's doubling cap.
-        let kpt = KptEstimator::estimate_with_sampler(g, &sampler, 1, tim, kpt_seed);
+        // sample size and the online mode's doubling cap. Identical pool
+        // tenants share their group's cached pilot (one pilot per model);
+        // reweighted tenants pilot privately — their spread differs from the
+        // reference's, so the OPT lower bound must come from their own model.
+        let kpt = if pool_mode == TenantMode::Identical {
+            rr_pool
+                .and_then(|p| p.kpt(g, j, 1, tim))
+                // INVARIANT: `mode` just classified this ad Identical, and
+                // the pool serves a pilot for every identical tenant.
+                .expect("identical tenants have a pooled pilot")
+        } else {
+            KptEstimator::estimate_with_sampler(g, &sampler, 1, tim, kpt_seed)
+        };
         let s_latent = 1usize;
         let theta_full = kpt.theta_for(n, s_latent, tim);
         let capped = theta_full >= tim.max_sets_per_ad
@@ -543,17 +624,48 @@ impl<'a> TiEngine<'a> {
                         val_cov: RrCoverage::new(n),
                         val_seed: stream_seed(self.cfg.seed ^ 0x0B5E_55ED, j as u64),
                         theta_cap,
-                        rule: StoppingRule::new(n, self.cfg.epsilon, self.cfg.ell),
+                        // On tiny graphs Eq. 8's cap can undercut the
+                        // rule's default pilot gate; the floor clamps the
+                        // gate so the rule can certify at the cap instead
+                        // of spinning doubling steps that cannot happen.
+                        rule: StoppingRule::new(n, self.cfg.epsilon, self.cfg.ell)
+                            .with_pilot_floor(theta_cap),
                     }),
                 )
             }
         };
         let sample_seed = stream_seed(self.cfg.seed ^ 0x005A_3D17, j as u64);
-        let (sets, _) = sampler.sample_batch(g, theta, sample_seed, 0);
         let no_seeds = vec![false; n];
-        let mut cov = RrCoverage::new(n);
-        cov.add_batch(&sets, &no_seeds);
-        let mut samples = theta as u64;
+        // Selection stream: pooled tenants read the shared arena (weighted
+        // ingestion for reweighted tenants — the index accumulates the
+        // importance mass); private ads sample their own stream. Shared
+        // sets are accounted once by the pool, so `samples` stays 0 here
+        // for pooled ads.
+        let mut cov = if pool_mode == TenantMode::Reweighted {
+            RrCoverage::new_weighted(n)
+        } else {
+            RrCoverage::new(n)
+        };
+        let mut samples = 0u64;
+        let pooled = rr_pool
+            .and_then(|p| {
+                p.with_range(g, j, 0, theta, |arena, lo, hi, w| {
+                    match w {
+                        Some(w) => cov.add_range_weighted(arena, lo, hi, &no_seeds, w),
+                        None => cov.add_range(arena, lo, hi, &no_seeds),
+                    };
+                })
+            })
+            .is_some();
+        if !pooled {
+            let (sets, _) = sampler.sample_batch(g, theta, sample_seed, 0);
+            cov.add_batch(&sets, &no_seeds);
+            samples += theta as u64;
+        }
+        // The validation stream (OnlineBounds) is always a private
+        // unit-weight sample: the stopping rule's unbiasedness argument
+        // needs draws independent of the selection stream every other
+        // tenant shares.
         let op = op.map(|mut op| {
             let (val_sets, _) = sampler.sample_batch(g, theta, op.val_seed, 0);
             op.val_cov.add_batch(&val_sets, &no_seeds);
@@ -584,7 +696,7 @@ impl<'a> TiEngine<'a> {
         // OnlineBounds: double from the pilot until the stopping rule
         // certifies the initial latent size (or the Eq. 8 cap is reached).
         if st.opim.is_some() {
-            self.certify_or_double(&mut st, tim, &no_seeds);
+            self.certify_or_double(&mut st, tim, &no_seeds, rr_pool);
         }
         // Growth batches run one ad at a time: restore the configured cap.
         st.sampler.set_thread_cap(self.cfg.sampler_threads);
@@ -616,7 +728,13 @@ impl<'a> TiEngine<'a> {
     /// top-`k`, and the greedy `(1 − 1/e)` bound). A provably negligible
     /// residual — at most ε times the validated achieved coverage —
     /// certifies too (further precision is inside Eq. 8's additive slack).
-    fn certify_or_double(&self, st: &mut AdState, tim: &TimConfig, assigned: &[bool]) -> bool {
+    fn certify_or_double(
+        &self,
+        st: &mut AdState,
+        tim: &TimConfig,
+        assigned: &[bool],
+        rr_pool: Option<&SharedRrPool>,
+    ) -> bool {
         let g = &self.inst.graph;
         let mut grew = false;
         loop {
@@ -631,11 +749,15 @@ impl<'a> TiEngine<'a> {
             // Greedy residual extension on the selection stream. Assigned
             // nodes are out for both sides: the residual optimum is over
             // the nodes this ad could still pick.
+            // Weighted accessors so reweighted pool tenants bound their
+            // *importance mass* — for unit-weight indexes they return the
+            // exact f64 image of the counts (< 2^53), so the f64 min-chain
+            // below is bit-identical to the former u64 arithmetic.
             let ext = st.cov.greedy_extension(k, k, |v| assigned[v as usize]);
-            let ext_gain = (ext.covered - st.cov.covered_total()) as u64;
-            let top_k = st.cov.top_k_sum(k, |v| assigned[v as usize]);
-            let greedy_ub = ext_gain as f64 / (1.0 - (-1.0f64).exp());
-            let residual_ub = ((top_k.min(ext_gain + ext.residual_top)) as f64).min(greedy_ub);
+            let ext_gain = ext.covered_weight - st.cov.covered_weight();
+            let top_k = st.cov.top_k_weight(k, |v| assigned[v as usize]);
+            let greedy_ub = ext_gain / (1.0 - (-1.0f64).exp());
+            let residual_ub = top_k.min(ext_gain + ext.residual_top_weight).min(greedy_ub);
             // Validation-stream counts: the index already tracks the
             // committed set, so only the extension is applied on a scratch
             // clone. `achieved` includes the committed coverage.
@@ -669,19 +791,25 @@ impl<'a> TiEngine<'a> {
                 }
                 return grew;
             }
-            // Grow both streams to the next doubling step.
+            // Grow both streams to the next doubling step. The selection
+            // stream comes from the pool for pooled ads (and is then
+            // counted by the pool, not `samples`); the validation stream is
+            // always a fresh private batch.
             let target = opim::next_theta(st.theta, op.theta_cap);
             let batch = target - st.theta;
-            let (sets, _) = st
-                .sampler
-                .sample_batch(g, batch, st.sample_seed, st.theta as u64);
-            st.cov.add_batch(&sets, &st.is_seed);
             let val_seed = op.val_seed;
+            if !self.pooled_add_range(st, rr_pool, st.theta, target) {
+                let (sets, _) = st
+                    .sampler
+                    .sample_batch(g, batch, st.sample_seed, st.theta as u64);
+                st.cov.add_batch(&sets, &st.is_seed);
+                st.samples += batch as u64;
+            }
             let (val_sets, _) = st.sampler.sample_batch(g, batch, val_seed, st.theta as u64);
             // INVARIANT: the enclosing branch read st.opim immutably above.
             let op = st.opim.as_mut().expect("opim state just observed");
             op.val_cov.add_batch(&val_sets, &st.is_seed);
-            st.samples += 2 * batch as u64;
+            st.samples += batch as u64;
             st.theta = target;
             grew = true;
         }
@@ -695,26 +823,29 @@ impl<'a> TiEngine<'a> {
     }
 
     /// Builds (or rebuilds) an ad's candidate heap for the current sample.
+    /// Keys read the weighted coverage accessor: the exact f64 image of the
+    /// count on unit-weight indexes (bit-identical to the former
+    /// `coverage(v) as f64`), the importance mass for reweighted tenants.
     fn build_heap(&self, cov: &RrCoverage, ad: usize, assigned: &[bool]) -> LazyGreedyHeap {
         let n = self.inst.num_nodes();
         match self.kind {
             AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => LazyGreedyHeap::default(),
             AlgorithmKind::TiCarm => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
-                let c = cov.coverage(v);
-                (c > 0 && !assigned[v as usize]).then_some((v, c as f64))
+                let c = cov.coverage_weight(v);
+                (c > 0.0 && !assigned[v as usize]).then_some((v, c))
             })),
             AlgorithmKind::TiCsrm => match self.cfg.window {
                 Window::Full => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
-                    let c = cov.coverage(v);
-                    if c == 0 || assigned[v as usize] {
+                    let c = cov.coverage_weight(v);
+                    if c == 0.0 || assigned[v as usize] {
                         return None;
                     }
                     let cost = self.inst.incentives[ad].cost(v).max(COST_FLOOR);
-                    Some((v, c as f64 / cost))
+                    Some((v, c / cost))
                 })),
                 Window::Size(_) => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
-                    let c = cov.coverage(v);
-                    (c > 0 && !assigned[v as usize]).then_some((v, c as f64))
+                    let c = cov.coverage_weight(v);
+                    (c > 0.0 && !assigned[v as usize]).then_some((v, c))
                 })),
             },
         }
@@ -738,7 +869,7 @@ impl<'a> TiEngine<'a> {
                         continue;
                     }
                     stats.candidate_evaluations += 1;
-                    return Some(Candidate::new(v, st.cov.coverage(v), Vec::new()));
+                    return Some(Candidate::new(v, st.cov.coverage_weight(v), Vec::new()));
                 }
                 None
             }
@@ -766,7 +897,7 @@ impl<'a> TiEngine<'a> {
         let cov_ref = &st.cov;
         let incent = &self.inst.incentives[ad];
         let current = |v: NodeId| -> f64 {
-            let c = cov_ref.coverage(v) as f64;
+            let c = cov_ref.coverage_weight(v);
             match key {
                 KeyKind::Coverage => c,
                 _ => c / incent.cost(v).max(COST_FLOOR),
@@ -774,7 +905,11 @@ impl<'a> TiEngine<'a> {
         };
         stats.candidate_evaluations += 1;
         let (v, key_now) = st.heap.pop_valid(current, |v| assigned[v as usize])?;
-        Some(Candidate::new(v, cov_ref.coverage(v), vec![(v, key_now)]))
+        Some(Candidate::new(
+            v,
+            cov_ref.coverage_weight(v),
+            vec![(v, key_now)],
+        ))
     }
 
     /// Windowed CS selection (Alg. 5 with window `w`): pop the top-`w` nodes
@@ -796,7 +931,7 @@ impl<'a> TiEngine<'a> {
             stats.candidate_evaluations += 1;
             match st
                 .heap
-                .pop_valid(|v| cov_ref.coverage(v) as f64, |v| assigned[v as usize])
+                .pop_valid(|v| cov_ref.coverage_weight(v), |v| assigned[v as usize])
             {
                 Some((v, key_now)) => popped.push((v, key_now)),
                 None => break,
@@ -810,7 +945,7 @@ impl<'a> TiEngine<'a> {
             .iter()
             .map(|&(v, cov)| (v, cov, cov / incent.cost(v).max(COST_FLOOR)))
             .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(v, cov, _)| (v, cov as u32))?;
+            .map(|(v, cov, _)| (v, cov))?;
         Some(Candidate::new(best.0, best.1, popped))
     }
 
@@ -830,18 +965,18 @@ impl<'a> TiEngine<'a> {
         stats.candidate_evaluations += n as u64;
         match key {
             KeyKind::Coverage | KeyKind::Ratio => {
-                let mut best: Option<(NodeId, u32, f64)> = None;
+                let mut best: Option<(NodeId, f64, f64)> = None;
                 for v in 0..n as NodeId {
                     if assigned[v as usize] {
                         continue;
                     }
-                    let c = st.cov.coverage(v);
-                    if c == 0 {
+                    let c = st.cov.coverage_weight(v);
+                    if c == 0.0 {
                         continue;
                     }
                     let k = match key {
-                        KeyKind::Coverage => c as f64,
-                        _ => c as f64 / incent.cost(v).max(COST_FLOOR),
+                        KeyKind::Coverage => c,
+                        _ => c / incent.cost(v).max(COST_FLOOR),
                     };
                     if best.is_none_or(|(_, _, bk)| k > bk) {
                         best = Some((v, c, k));
@@ -850,19 +985,24 @@ impl<'a> TiEngine<'a> {
                 best.map(|(v, cov, _)| Candidate::new(v, cov, Vec::new()))
             }
             KeyKind::WindowedRatio => {
-                // Top-w by coverage, then best ratio among them.
-                let mut top: Vec<(NodeId, u32)> = (0..n as NodeId)
-                    .filter(|&v| !assigned[v as usize] && st.cov.coverage(v) > 0)
-                    .map(|v| (v, st.cov.coverage(v)))
+                // Top-w by coverage, then best ratio among them. The f64
+                // comparator orders exact integer images identically to the
+                // former u32 sort; weighted masses are finite by
+                // construction, so the partial order is total here.
+                let mut top: Vec<(NodeId, f64)> = (0..n as NodeId)
+                    .filter(|&v| !assigned[v as usize] && st.cov.coverage_weight(v) > 0.0)
+                    .map(|v| (v, st.cov.coverage_weight(v)))
                     .collect();
                 if top.is_empty() {
                     return None;
                 }
                 let w = w.min(top.len());
-                top.select_nth_unstable_by(w - 1, |a, b| b.1.cmp(&a.1));
+                top.select_nth_unstable_by(w - 1, |a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                });
                 top.truncate(w);
                 top.into_iter()
-                    .map(|(v, c)| (v, c, c as f64 / incent.cost(v).max(COST_FLOOR)))
+                    .map(|(v, c)| (v, c, c / incent.cost(v).max(COST_FLOOR)))
                     .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
                     .map(|(v, cov, _)| Candidate::new(v, cov, Vec::new()))
             }
@@ -901,7 +1041,7 @@ impl<'a> TiEngine<'a> {
             // ρ past the budget on commit. Ranking still uses the
             // selection-stream `d_pi`/`d_rho`.
             let d_pi_commit = match &st.opim {
-                Some(op) => st.delta_pi(ad.cpe, n, op.val_cov.coverage(cand.v)),
+                Some(op) => st.delta_pi(ad.cpe, n, f64::from(op.val_cov.coverage(cand.v))),
                 None => d_pi,
             };
             let rho_now = st.rho(ad.cpe, n);
@@ -954,6 +1094,7 @@ impl<'a> TiEngine<'a> {
         st: &mut AdState,
         assigned: &[bool],
         tim: &TimConfig,
+        rr_pool: Option<&SharedRrPool>,
         stats: &mut RunStats,
     ) {
         let n = self.inst.num_nodes();
@@ -962,7 +1103,9 @@ impl<'a> TiEngine<'a> {
         let headroom = ad.budget - rho;
         let mut s_new = st.s_latent.max(st.seeds.len());
         if headroom > 0.0 && st.theta > 0 {
-            let fmax = st.cov.max_coverage(|v| assigned[v as usize]) as f64 / st.theta as f64;
+            // Weighted accessor: exact f64 image of the count for
+            // unit-weight indexes, importance mass for reweighted tenants.
+            let fmax = st.cov.max_coverage_weight(|v| assigned[v as usize]) / st.theta as f64;
             let denom = self.inst.incentives[st.idx].cmax() + ad.cpe * n as f64 * fmax;
             if denom > 0.0 {
                 s_new += (headroom / denom).floor() as usize;
@@ -980,9 +1123,14 @@ impl<'a> TiEngine<'a> {
                 // Under OnlineBounds the commit charge is the candidate's
                 // *validation*-stream marginal, which can be zero even for
                 // a positive-coverage selection candidate — so only the
-                // incentive floor is certain.
+                // incentive floor is certain. A reweighted pool tenant's
+                // weighted marginal can likewise be arbitrarily small (one
+                // covered set of tiny importance weight), so the
+                // one-set-per-candidate Δπ floor only holds for unit-weight
+                // indexes.
                 AlgorithmKind::TiCarm | AlgorithmKind::TiCsrm
-                    if matches!(self.cfg.sampling, SamplingStrategy::FixedTheta) =>
+                    if matches!(self.cfg.sampling, SamplingStrategy::FixedTheta)
+                        && !st.cov.is_weighted() =>
                 {
                     ad.cpe * n as f64 / st.theta.max(1) as f64
                 }
@@ -1008,14 +1156,18 @@ impl<'a> TiEngine<'a> {
                     st.capped = true;
                 }
                 if theta_new > st.theta {
-                    let (sets, _) = st.sampler.sample_batch(
-                        &self.inst.graph,
-                        theta_new - st.theta,
-                        st.sample_seed,
-                        st.theta as u64,
-                    );
-                    st.cov.add_batch(&sets, &st.is_seed);
-                    st.samples += (theta_new - st.theta) as u64;
+                    // Pooled ads extend their view of the shared arena;
+                    // private ads grow their own stream.
+                    if !self.pooled_add_range(st, rr_pool, st.theta, theta_new) {
+                        let (sets, _) = st.sampler.sample_batch(
+                            &self.inst.graph,
+                            theta_new - st.theta,
+                            st.sample_seed,
+                            st.theta as u64,
+                        );
+                        st.cov.add_batch(&sets, &st.is_seed);
+                        st.samples += (theta_new - st.theta) as u64;
+                    }
                     st.theta = theta_new;
                     // Coverage counts grew: lazy-heap invariant (keys only
                     // decrease) is broken, rebuild from scratch.
@@ -1036,13 +1188,30 @@ impl<'a> TiEngine<'a> {
                 // strategy is OnlineBounds, the only path reaching here.
                 let op = st.opim.as_mut().expect("OnlineBounds ads carry opim state");
                 op.theta_cap = op.theta_cap.max(cap);
-                if self.certify_or_double(st, tim, assigned) {
+                if self.certify_or_double(st, tim, assigned, rr_pool) {
                     st.heap = self.build_heap(&st.cov, st.idx, assigned);
                     stats.candidate_evaluations += n as u64;
                 }
             }
         }
     }
+}
+
+/// Terminal Table-3 accounting for one ad: compacts the live indexes — sets
+/// covered by seeds committed since the last growth batch still hold
+/// storage — and returns the ad's resident RR bytes. Each component is
+/// counted exactly once: the selection index, the ad's sampling tables, and
+/// (OnlineBounds) the validation index. Cross-ad state is excluded — the
+/// shared TIC per-topic table and the shared RR pool's arenas are each
+/// added once per run by the caller, never per ad.
+pub(crate) fn terminal_ad_bytes(st: &mut AdState) -> usize {
+    st.cov.compact();
+    let mut bytes = st.cov.memory_bytes() + st.sampler.memory_bytes();
+    if let Some(op) = st.opim.as_mut() {
+        op.val_cov.compact();
+        bytes += op.val_cov.memory_bytes();
+    }
+    bytes
 }
 
 /// Per-run selection fan-out policy (see [`TiEngine::selection_policy`]).

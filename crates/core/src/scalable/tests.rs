@@ -462,6 +462,9 @@ fn deterministic_stats(s: &crate::RunStats) -> impl PartialEq + std::fmt::Debug 
             s.invalidated_candidates,
             s.bound_checks,
             s.budget_exhausted_ads,
+            s.pool_groups,
+            s.pooled_ads,
+            s.reweighted_ads,
         ),
     )
 }
@@ -672,6 +675,228 @@ fn eager_ablation_still_reevaluates_every_round() {
         "eager mode must refresh every live ad every round: {} refreshes, {} rounds",
         stats.candidate_refreshes,
         rounds
+    );
+}
+
+fn pooled_cfg(seed: u64) -> ScalableConfig {
+    ScalableConfig {
+        rr_sharing: true,
+        ..test_cfg(seed)
+    }
+}
+
+#[test]
+fn rr_sharing_pools_identical_ads_and_samples_sublinearly() {
+    // Three ads with identical diffusion models: the shared pool must serve
+    // all of them from ONE group arena, so the total RR sets sampled stay
+    // near one private ad's θ instead of three.
+    let inst = wc_instance(400, 3, 60.0, 0.2, 42);
+    let (_p_alloc, p_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, test_cfg(7)).run();
+    let (s_alloc, s_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, pooled_cfg(7)).run();
+    assert!(s_alloc.num_seeds() > 0, "pooled run selected no seeds");
+    assert_feasible(&inst, &s_alloc, &s_stats);
+    assert!(s_stats.total_revenue() > 0.0);
+    // Pool telemetry: one model-distinct group serving every ad, no
+    // reweighting needed; the private run reports no pool at all.
+    assert_eq!(s_stats.pool_groups, 1);
+    assert_eq!(s_stats.pooled_ads, 3);
+    assert_eq!(s_stats.reweighted_ads, 0);
+    assert_eq!(p_stats.pool_groups, 0);
+    assert_eq!(p_stats.pooled_ads, 0);
+    // The accounting bugfix regime: shared sets are counted once by the
+    // pool, never per tenant, so three identical tenants draw well under
+    // the private run's 3·θ (sublinear growth in h — the fig5 claim).
+    assert!(
+        s_stats.rr_sets_sampled * 2 < p_stats.rr_sets_sampled,
+        "pooled run drew {} sets vs {} private — sharing never engaged",
+        s_stats.rr_sets_sampled,
+        p_stats.rr_sets_sampled,
+    );
+    assert!(s_stats.rr_memory_bytes > 0);
+}
+
+#[test]
+fn rr_sharing_deterministic_and_thread_invariant() {
+    // Pooled runs must stay bit-identical across reruns AND across both
+    // thread knobs: group arenas are stream-seeded and growth extends one
+    // logical stream, so worker counts only change timing.
+    let inst = wc_instance(300, 3, 60.0, 0.2, 21);
+    let base = ScalableConfig {
+        sampler_threads: 1,
+        selection_threads: 1,
+        ..pooled_cfg(13)
+    };
+    let (a_base, s_base) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, base).run();
+    assert!(a_base.num_seeds() > 0);
+    assert_eq!(s_base.pooled_ads, 3);
+    let (a_again, s_again) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, base).run();
+    assert_eq!(a_base, a_again, "pooled run not reproducible");
+    assert_eq!(deterministic_stats(&s_base), deterministic_stats(&s_again));
+    for (samplers, selectors) in [(4, 1), (1, 8), (4, 8)] {
+        let cfg = ScalableConfig {
+            sampler_threads: samplers,
+            selection_threads: selectors,
+            ..base
+        };
+        let (a_par, s_par) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+        assert_eq!(
+            a_base, a_par,
+            "pooled allocation differs at sampler_threads={samplers} selection_threads={selectors}"
+        );
+        assert_eq!(
+            deterministic_stats(&s_base),
+            deterministic_stats(&s_par),
+            "pooled stats differ at sampler_threads={samplers} selection_threads={selectors}"
+        );
+    }
+}
+
+#[test]
+fn rr_sharing_runs_under_online_bounds() {
+    // OnlineBounds + pooling: selection sets come from the shared arena but
+    // every ad keeps a PRIVATE validation stream (the stopping rule's
+    // unbiasedness needs draws independent of the shared selection sample).
+    let inst = wc_instance(400, 3, 60.0, 0.2, 42);
+    let cfg = ScalableConfig {
+        rr_sharing: true,
+        ..online_cfg(7)
+    };
+    let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+    assert!(alloc.num_seeds() > 0, "no seeds under pooled OnlineBounds");
+    assert_feasible(&inst, &alloc, &stats);
+    assert!(stats.bound_checks > 0, "stopping rule never evaluated");
+    assert_eq!(stats.pool_groups, 1);
+    assert_eq!(stats.pooled_ads, 3);
+    let (again, s_again) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+    assert_eq!(alloc, again, "pooled OnlineBounds run not reproducible");
+    assert_eq!(stats.rr_sets_sampled, s_again.rr_sets_sampled);
+}
+
+#[test]
+fn rr_sharing_reweights_distinct_tic_mixtures() {
+    // Two ads over ONE shared topical TIC table with different (strictly
+    // positive) mixtures: the pool must keep them in one group, serve the
+    // founder unweighted and the second ad through importance weights.
+    let mut rng = SmallRng::seed_from_u64(19);
+    let g = Arc::new(generators::barabasi_albert(300, 3, &mut rng));
+    let tic = Arc::new(TicModel::topical(&g, 2, Default::default(), &mut rng));
+    let ads = vec![
+        Advertiser::new(1.0, 40.0, TopicDistribution::new(&[0.6, 0.4])),
+        Advertiser::new(1.0, 40.0, TopicDistribution::new(&[0.4, 0.6])),
+    ];
+    let inst = RmInstance::build_tic(
+        Arc::clone(&g),
+        tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.2 },
+        SingletonMethod::RrEstimate { theta: 20_000 },
+        5,
+    );
+    let (_p_alloc, p_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, test_cfg(9)).run();
+    let (s_alloc, s_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, pooled_cfg(9)).run();
+    assert!(
+        s_alloc.num_seeds() > 0,
+        "reweighted pooled run chose nothing"
+    );
+    assert_feasible(&inst, &s_alloc, &s_stats);
+    assert_eq!(s_stats.pool_groups, 1);
+    assert_eq!(s_stats.pooled_ads, 2);
+    assert_eq!(s_stats.reweighted_ads, 1);
+    assert_eq!(p_stats.reweighted_ads, 0);
+    // One arena sized to the larger tenant demand beats two private streams.
+    assert!(
+        s_stats.rr_sets_sampled < p_stats.rr_sets_sampled,
+        "reweighted pool drew {} sets vs {} private",
+        s_stats.rr_sets_sampled,
+        p_stats.rr_sets_sampled,
+    );
+    // The importance-weighted estimates stay in the private run's ballpark
+    // (both estimate the same revenues; only the estimator differs).
+    let (p_rev, s_rev) = (p_stats.total_revenue(), s_stats.total_revenue());
+    assert!(
+        (p_rev - s_rev).abs() <= 0.35 * p_rev.max(s_rev),
+        "reweighted revenue estimate {s_rev} far from private {p_rev}"
+    );
+    let (again, _) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, pooled_cfg(9)).run();
+    assert_eq!(s_alloc, again, "reweighted pooled run not reproducible");
+}
+
+#[test]
+fn terminal_memory_counts_each_component_exactly_once() {
+    // Table-3 accounting audit (exact, not a smoke bound): the terminal
+    // per-ad tally must be the sum of the compacted selection index, the
+    // prepared sampler tables, and — under OnlineBounds — the compacted
+    // validation index, each appearing exactly once. Built by hand so the
+    // expected sum is computable from the components themselves.
+    use super::ad_state::OpimAdState;
+    use super::engine::terminal_ad_bytes;
+    use rm_rrsets::{
+        KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule, TimConfig,
+    };
+
+    let inst = wc_instance(200, 1, 40.0, 0.2, 5);
+    let g = &inst.graph;
+    let n = g.num_nodes();
+    let sampler = PreparedSampler::for_model(g, &inst.model(0));
+    let tim = TimConfig::default();
+    let kpt = KptEstimator::estimate_with_sampler(g, &sampler, 1, &tim, 7);
+    let theta = 500usize;
+    let no_seeds = vec![false; n];
+    let mut cov = RrCoverage::new(n);
+    let (sets, _) = sampler.sample_batch(g, theta, 11, 0);
+    cov.add_batch(&sets, &no_seeds);
+    let mut val_cov = RrCoverage::new(n);
+    let (val_sets, _) = sampler.sample_batch(g, theta, 13, 0);
+    val_cov.add_batch(&val_sets, &no_seeds);
+    let mut st = super::ad_state::AdState {
+        idx: 0,
+        sampler,
+        cov,
+        theta,
+        s_latent: 1,
+        kpt,
+        seeds: Vec::new(),
+        is_seed: vec![false; n],
+        cost_total: 0.0,
+        heap: LazyGreedyHeap::default(),
+        pr_order: Vec::new(),
+        pr_cursor: 0,
+        exhausted: false,
+        candidate: None,
+        sample_seed: 11,
+        samples: 2 * theta as u64,
+        capped: false,
+        bound_checks: 0,
+        opim: Some(OpimAdState {
+            val_cov,
+            val_seed: 13,
+            theta_cap: 4 * theta,
+            rule: StoppingRule::new(n, 0.3, 1.0),
+        }),
+    };
+    let with_val = terminal_ad_bytes(&mut st);
+    // `terminal_ad_bytes` compacted both indexes; re-reading the components
+    // now must reproduce its sum exactly — nothing dropped, nothing doubled.
+    let op = st.opim.as_ref().expect("opim state still present");
+    let val_bytes = op.val_cov.memory_bytes();
+    let expected = st.cov.memory_bytes() + st.sampler.memory_bytes() + val_bytes;
+    assert_eq!(
+        with_val, expected,
+        "terminal tally is not the component sum"
+    );
+    assert!(val_bytes > 0, "validation index reported as empty");
+    // Dropping the validation state must remove exactly its bytes: the
+    // regression this guards is double-counting (or omitting) val_cov.
+    st.opim = None;
+    let without_val = terminal_ad_bytes(&mut st);
+    assert_eq!(
+        with_val - without_val,
+        val_bytes,
+        "validation index not counted exactly once"
+    );
+    assert_eq!(
+        without_val,
+        st.cov.memory_bytes() + st.sampler.memory_bytes()
     );
 }
 

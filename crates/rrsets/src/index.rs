@@ -102,6 +102,22 @@ pub struct RrCoverage {
     covered_total: usize,
     /// Sets ever added (the θ denominator), including compacted-away ones.
     total_sets: usize,
+    /// `true` iff the index carries per-set importance weights (pooled
+    /// cross-advertiser samples, `crate::pool`). Unweighted indexes keep the
+    /// weighted side streams empty so their memory accounting and code paths
+    /// are bit-identical to the pre-pool implementation.
+    weighted: bool,
+    /// Per-live-set importance weight, parallel to `covered` (empty when
+    /// unweighted — every set counts 1).
+    weights: Vec<f32>,
+    /// Weighted current coverage per node, parallel to `cov` (empty when
+    /// unweighted). Maintained incrementally and recomputed from scratch on
+    /// every rebuild, so float drift from repeated subtraction is reset at
+    /// each compaction.
+    wcov: Vec<f64>,
+    /// Weighted covered total (the numerator of the weighted spread
+    /// estimate); 0 when unweighted — use [`Self::covered_weight`].
+    covered_weight: f64,
 }
 
 impl Default for RrCoverage {
@@ -128,7 +144,31 @@ impl RrCoverage {
             cov: vec![0; n],
             covered_total: 0,
             total_sets: 0,
+            weighted: false,
+            weights: Vec::new(),
+            wcov: Vec::new(),
+            covered_weight: 0.0,
         }
+    }
+
+    /// Empty *weighted* index for a graph with `n` nodes: every ingested set
+    /// carries an importance weight (default 1), and the weighted accessors
+    /// ([`Self::coverage_weight`], [`Self::covered_weight`],
+    /// [`Self::top_k_weight`], [`Self::max_coverage_weight`]) report weight
+    /// sums instead of counts. Used by the shared RR pool's reweighted
+    /// tenants (`crate::pool`).
+    pub fn new_weighted(n: usize) -> Self {
+        RrCoverage {
+            weighted: true,
+            wcov: vec![0.0; n],
+            ..RrCoverage::new(n)
+        }
+    }
+
+    /// `true` iff this index carries per-set importance weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
     }
 
     /// Total number of sets ever added (the θ denominator).
@@ -143,10 +183,39 @@ impl RrCoverage {
         self.covered_total
     }
 
+    /// Weight of the sets covered by the committed seeds. For an unweighted
+    /// index this is exactly `covered_total() as f64` (bit-identical — the
+    /// conversion is exact for any feasible θ).
+    #[inline]
+    pub fn covered_weight(&self) -> f64 {
+        if self.weighted {
+            self.covered_weight
+        } else {
+            self.covered_total as f64
+        }
+    }
+
     /// Current (marginal) coverage of node `v`.
     #[inline]
     pub fn coverage(&self, v: NodeId) -> u32 {
         self.cov[v as usize]
+    }
+
+    /// Weighted current (marginal) coverage of node `v`. For an unweighted
+    /// index this is exactly `f64::from(coverage(v))`. Gated on the integer
+    /// count so that a node whose sets are all covered reports exactly 0
+    /// even if float drift left a residue in the incremental weight sum.
+    #[inline]
+    pub fn coverage_weight(&self, v: NodeId) -> f64 {
+        if self.weighted {
+            if self.cov[v as usize] == 0 {
+                0.0
+            } else {
+                self.wcov[v as usize].max(0.0)
+            }
+        } else {
+            f64::from(self.cov[v as usize])
+        }
     }
 
     /// Adds a batch of freshly sampled sets. `is_seed[u]` must be true for
@@ -162,29 +231,82 @@ impl RrCoverage {
     /// sets are worth reclaiming — so a run of tiny growth batches stays
     /// linear overall.
     pub fn add_batch(&mut self, sets: &RrArena, is_seed: &[bool]) -> usize {
+        self.add_range_impl(sets, 0, sets.len(), is_seed, None)
+    }
+
+    /// [`Self::add_batch`] restricted to the arena slice `[lo, hi)`: ingests
+    /// sets `lo..hi` (ids assigned in arena order) without copying them out.
+    /// This is how pool tenants consume a *prefix* of a shared arena — each
+    /// tenant's θ addresses `[0, θ)` of the pooled sample, and growth ingests
+    /// only the delta range.
+    pub fn add_range(&mut self, sets: &RrArena, lo: usize, hi: usize, is_seed: &[bool]) -> usize {
+        self.add_range_impl(sets, lo, hi, is_seed, None)
+    }
+
+    /// [`Self::add_range`] with per-set importance weights (`weights[i]` is
+    /// the weight of arena set `lo + i`). Requires a
+    /// [weighted](Self::new_weighted) index.
+    pub fn add_range_weighted(
+        &mut self,
+        sets: &RrArena,
+        lo: usize,
+        hi: usize,
+        is_seed: &[bool],
+        weights: &[f32],
+    ) -> usize {
+        // INVARIANT: API contract — a weight per ingested set, on a
+        // weighted index only.
+        assert!(self.weighted, "add_range_weighted needs new_weighted()");
+        // INVARIANT: API contract (see above).
+        assert_eq!(weights.len(), hi - lo, "one weight per ingested set");
+        self.add_range_impl(sets, lo, hi, is_seed, Some(weights))
+    }
+
+    fn add_range_impl(
+        &mut self,
+        sets: &RrArena,
+        lo: usize,
+        hi: usize,
+        is_seed: &[bool],
+        weights: Option<&[f32]>,
+    ) -> usize {
         // INVARIANT: API contract — the mask length defines the node space;
         // a short mask would silently mis-classify high node ids.
         assert_eq!(is_seed.len(), self.n, "seed mask must cover every node");
+        // INVARIANT: API contract — the range must address the arena.
+        assert!(lo <= hi && hi <= sets.len(), "range out of arena bounds");
         let mut arrived_covered = 0;
         // INVARIANT: entry counts are capped far below u32::MAX by the
         // sample-size valve; overflow indicates a sizing bug, not data.
         let to_u32 = |len: usize| u32::try_from(len).expect("coverage index exceeds u32 entries");
-        for set in sets.iter() {
+        for i in lo..hi {
+            let set = sets.get(i);
+            let w = weights.map_or(1.0f32, |ws| ws[i - lo]);
             if set.iter().any(|&u| is_seed[u as usize]) {
                 // Covered on arrival: contributes to `covered_total` and θ,
                 // occupies no storage.
                 self.covered_total += 1;
+                if self.weighted {
+                    self.covered_weight += f64::from(w);
+                }
                 arrived_covered += 1;
             } else {
                 for &u in set {
                     self.cov[u as usize] += 1;
+                }
+                if self.weighted {
+                    let wf = f64::from(w);
+                    for &u in set {
+                        self.wcov[u as usize] += wf;
+                    }
+                    self.weights.push(w);
                 }
                 self.set_nodes.extend_from_slice(set);
                 self.set_offsets.push(to_u32(self.set_nodes.len()));
                 self.covered.push(false);
             }
         }
-        self.total_sets += sets.len();
+        self.total_sets += hi - lo;
 
         let indexed_entries = self.set_offsets[self.indexed_sets] as usize;
         let pending_entries = self.set_nodes.len() - indexed_entries;
@@ -207,8 +329,14 @@ impl RrCoverage {
         let old_offsets = std::mem::take(&mut self.set_offsets);
         let old_nodes = std::mem::take(&mut self.set_nodes);
         let old_covered = std::mem::take(&mut self.covered);
+        let old_weights = std::mem::take(&mut self.weights);
         let mut nodes: Vec<NodeId> = Vec::with_capacity(live_entries);
         let mut offsets: Vec<u32> = Vec::with_capacity(old_covered.len() - self.covered_live + 1);
+        let mut weights: Vec<f32> = if self.weighted {
+            Vec::with_capacity(old_covered.len() - self.covered_live)
+        } else {
+            Vec::new()
+        };
         offsets.push(0);
         // INVARIANT: compaction only shrinks; see add_batch's cap argument.
         let to_u32 = |len: usize| u32::try_from(len).expect("coverage index exceeds u32 entries");
@@ -220,6 +348,9 @@ impl RrCoverage {
                 &old_nodes[old_offsets[sid] as usize..old_offsets[sid + 1] as usize],
             );
             offsets.push(to_u32(nodes.len()));
+            if self.weighted {
+                weights.push(old_weights[sid]);
+            }
         }
         drop(old_nodes);
         let live_count = offsets.len() - 1;
@@ -228,17 +359,31 @@ impl RrCoverage {
         self.covered = vec![false; live_count];
         self.covered_live = 0;
         self.indexed_sets = live_count;
+        self.weights = weights;
 
         // Sizing pass first: per-node encoded byte length, prefix-summed
-        // into offsets.
+        // into offsets. For weighted indexes the pass also recomputes the
+        // per-node weight sums from scratch, resetting incremental float
+        // drift at every rebuild.
         let mut byte_len = vec![0u32; self.n];
         let mut prev = vec![0u32; self.n];
+        if self.weighted {
+            self.wcov.fill(0.0);
+        }
         for sid in 0..live_count {
             let a = self.set_offsets[sid] as usize;
             let b = self.set_offsets[sid + 1] as usize;
+            let w = if self.weighted {
+                f64::from(self.weights[sid])
+            } else {
+                0.0
+            };
             for &u in &self.set_nodes[a..b] {
                 byte_len[u as usize] += varint_len(sid as u32 - prev[u as usize]);
                 prev[u as usize] = sid as u32;
+                if self.weighted {
+                    self.wcov[u as usize] += w;
+                }
             }
         }
         self.inv_offsets.clear();
@@ -308,8 +453,17 @@ impl RrCoverage {
         self.covered[sid] = true;
         let a = self.set_offsets[sid] as usize;
         let b = self.set_offsets[sid + 1] as usize;
-        for &w in &self.set_nodes[a..b] {
-            self.cov[w as usize] -= 1;
+        if self.weighted {
+            let w = f64::from(self.weights[sid]);
+            self.covered_weight += w;
+            for &u in &self.set_nodes[a..b] {
+                self.cov[u as usize] -= 1;
+                self.wcov[u as usize] -= w;
+            }
+        } else {
+            for &w in &self.set_nodes[a..b] {
+                self.cov[w as usize] -= 1;
+            }
         }
     }
 
@@ -320,6 +474,22 @@ impl RrCoverage {
         for v in 0..self.n as NodeId {
             if !skip(v) {
                 best = best.max(self.cov[v as usize]);
+            }
+        }
+        best
+    }
+
+    /// Maximum current *weighted* coverage over nodes not excluded by
+    /// `skip`. For an unweighted index this is exactly
+    /// `f64::from(max_coverage(skip))`.
+    pub fn max_coverage_weight(&self, skip: impl Fn(NodeId) -> bool) -> f64 {
+        if !self.weighted {
+            return f64::from(self.max_coverage(skip));
+        }
+        let mut best = 0.0f64;
+        for v in 0..self.n as NodeId {
+            if !skip(v) {
+                best = best.max(self.coverage_weight(v));
             }
         }
         best
@@ -345,6 +515,7 @@ impl RrCoverage {
         self.inv_offsets.shrink_to_fit();
         self.inv_bytes.shrink_to_fit();
         self.covered.shrink_to_fit();
+        self.weights.shrink_to_fit();
     }
 
     /// Resident bytes of the index: flattened sets, the inverted CSR, and
@@ -359,6 +530,10 @@ impl RrCoverage {
             + self.inv_bytes.capacity()
             + 4 * self.cov.capacity()
             + self.covered.capacity()
+            // Weighted side streams; both capacities are 0 when unweighted,
+            // so the pre-pool accounting is unchanged byte for byte.
+            + 4 * self.weights.capacity()
+            + 8 * self.wcov.capacity()
     }
 
     /// Sum of the `k` largest current coverage counts over nodes not
@@ -382,6 +557,32 @@ impl RrCoverage {
         tops.into_iter().map(u64::from).sum()
     }
 
+    /// Weighted [`Self::top_k_sum`]: the `k` largest *weighted* marginal
+    /// coverages, the submodularity bound on the weighted coverage any
+    /// size-`k` extension can add. For an unweighted index this is exactly
+    /// `top_k_sum(k, skip) as f64` (the conversion is exact — counts stay
+    /// far below 2⁵³).
+    pub fn top_k_weight(&self, k: usize, skip: impl Fn(NodeId) -> bool) -> f64 {
+        if !self.weighted {
+            return self.top_k_sum(k, skip) as f64;
+        }
+        if k == 0 {
+            return 0.0;
+        }
+        let mut tops: Vec<f64> = (0..self.n as NodeId)
+            .filter(|&v| !skip(v))
+            .map(|v| self.coverage_weight(v))
+            .filter(|&c| c > 0.0)
+            .collect();
+        if tops.len() > k {
+            tops.select_nth_unstable_by(k - 1, |a, b| {
+                b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            tops.truncate(k);
+        }
+        tops.into_iter().sum()
+    }
+
     /// Greedy `k`-extension oracle for the online stopping rule: greedily
     /// covers `k` further nodes on a scratch clone (`self` is untouched) and
     /// reports the extension picks, the total covered count afterwards, and
@@ -397,13 +598,17 @@ impl RrCoverage {
         let mut scratch = self.clone();
         let mut picks = Vec::with_capacity(k);
         for _ in 0..k {
-            let mut best: Option<(NodeId, u32)> = None;
+            // One loop serves both flavors: for an unweighted index
+            // `coverage_weight` is the exact f64 image of the u32 count, so
+            // the comparison (and hence every pick and tie-break) is
+            // bit-identical to the historical integer loop.
+            let mut best: Option<(NodeId, f64)> = None;
             for v in 0..scratch.n as NodeId {
                 if skip(v) {
                     continue;
                 }
-                let c = scratch.coverage(v);
-                if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                let c = scratch.coverage_weight(v);
+                if c > 0.0 && best.is_none_or(|(_, bc)| c > bc) {
                     best = Some((v, c));
                 }
             }
@@ -412,11 +617,19 @@ impl RrCoverage {
             picks.push(v);
         }
         let covered = scratch.covered_total();
-        let residual_top = scratch.top_k_sum(residual_k, skip);
+        let covered_weight = scratch.covered_weight();
+        let residual_top = scratch.top_k_sum(residual_k, &skip);
+        let residual_top_weight = if scratch.weighted {
+            scratch.top_k_weight(residual_k, &skip)
+        } else {
+            residual_top as f64
+        };
         GreedyExtension {
             picks,
             covered,
+            covered_weight,
             residual_top,
+            residual_top_weight,
         }
     }
 
@@ -455,8 +668,14 @@ pub struct GreedyExtension {
     pub picks: Vec<NodeId>,
     /// Total covered sets after the extension (committed + extension).
     pub covered: usize,
+    /// Total covered *weight* after the extension; equals `covered as f64`
+    /// exactly for unweighted indexes.
+    pub covered_weight: f64,
     /// Post-extension top-`residual_k` marginal coverage sum.
     pub residual_top: u64,
+    /// Weighted [`Self::residual_top`]; equals `residual_top as f64` exactly
+    /// for unweighted indexes.
+    pub residual_top_weight: f64,
 }
 
 /// CELF-style lazy-greedy max-heap over `(key, node)` pairs.
@@ -677,12 +896,15 @@ mod tests {
         assert_eq!(idx.inv_offsets.capacity(), idx.inv_offsets.len());
         assert_eq!(idx.inv_bytes.capacity(), idx.inv_bytes.len());
         assert_eq!(idx.covered.capacity(), idx.covered.len());
+        assert_eq!(idx.weights.capacity(), idx.weights.len());
         let live = 4 * idx.set_nodes.len()
             + 4 * idx.set_offsets.len()
             + 4 * idx.inv_offsets.len()
             + idx.inv_bytes.len()
             + 4 * idx.cov.capacity()
-            + idx.covered.len();
+            + idx.covered.len()
+            + 4 * idx.weights.len()
+            + 8 * idx.wcov.capacity();
         assert_eq!(idx.memory_bytes(), live);
     }
 
@@ -767,6 +989,134 @@ mod tests {
         assert_eq!(total, idx.covered_total());
         assert_eq!(total, 4);
         assert_eq!(gain, idx.covered_total() - after_base);
+    }
+
+    /// Weighted index over hand-rolled sets with one weight per set.
+    fn build_weighted(n: usize, sets: &[&[NodeId]], weights: &[f32]) -> RrCoverage {
+        let arena: RrArena = sets.iter().copied().collect();
+        let mut idx = RrCoverage::new_weighted(n);
+        idx.add_range_weighted(&arena, 0, arena.len(), &vec![false; n], weights);
+        idx
+    }
+
+    #[test]
+    fn unweighted_accessors_mirror_counts_exactly() {
+        let mut idx = build(4, &[&[0, 1], &[1, 2], &[1], &[3]]);
+        assert!(!idx.is_weighted());
+        for v in 0..4u32 {
+            assert_eq!(idx.coverage_weight(v), f64::from(idx.coverage(v)));
+        }
+        assert_eq!(idx.max_coverage_weight(|_| false), 3.0);
+        assert_eq!(
+            idx.top_k_weight(2, |_| false),
+            idx.top_k_sum(2, |_| false) as f64
+        );
+        idx.cover_with(1);
+        assert_eq!(idx.covered_weight(), idx.covered_total() as f64);
+        let ext = idx.greedy_extension(1, 1, |_| false);
+        assert_eq!(ext.covered_weight, ext.covered as f64);
+        assert_eq!(ext.residual_top_weight, ext.residual_top as f64);
+    }
+
+    #[test]
+    fn weighted_coverage_counts_weights() {
+        let idx = build_weighted(4, &[&[0, 1], &[1, 2], &[1], &[3]], &[0.5, 2.0, 1.0, 4.0]);
+        assert!(idx.is_weighted());
+        // Counts are still plain cardinalities …
+        assert_eq!(idx.coverage(1), 3);
+        // … while the weighted view sums importance weights.
+        assert_eq!(idx.coverage_weight(0), 0.5);
+        assert_eq!(idx.coverage_weight(1), 3.5);
+        assert_eq!(idx.coverage_weight(3), 4.0);
+        assert_eq!(idx.max_coverage_weight(|_| false), 4.0);
+        // Top-2 by weight: {4.0 (node 3), 3.5 (node 1)}.
+        assert_eq!(idx.top_k_weight(2, |_| false), 7.5);
+    }
+
+    #[test]
+    fn weighted_cover_with_tracks_covered_weight() {
+        let mut idx = build_weighted(4, &[&[0, 1], &[1, 2], &[1], &[3]], &[0.5, 2.0, 1.0, 4.0]);
+        assert_eq!(idx.cover_with(1), 3);
+        assert_eq!(idx.covered_total(), 3);
+        assert_eq!(idx.covered_weight(), 3.5);
+        assert_eq!(idx.coverage_weight(0), 0.0);
+        assert_eq!(idx.coverage_weight(2), 0.0);
+        assert_eq!(idx.coverage_weight(3), 4.0);
+    }
+
+    #[test]
+    fn weighted_greedy_follows_weights_not_counts() {
+        // Node 0 sits in 3 sets of weight 0.1; node 4 in one set of weight
+        // 5. An unweighted greedy would take node 0 first; the weighted
+        // greedy must take node 4.
+        let idx = build_weighted(5, &[&[0, 1], &[0, 2], &[0, 3], &[4]], &[0.1, 0.1, 0.1, 5.0]);
+        let ext = idx.greedy_extension(1, 1, |_| false);
+        assert_eq!(ext.picks, vec![4]);
+        assert_eq!(ext.covered_weight, 5.0);
+        // Residual after taking node 4: node 0's three 0.1-sets.
+        assert!((ext.residual_top_weight - 0.3).abs() < 1e-6);
+        assert_eq!(ext.covered, 1);
+    }
+
+    #[test]
+    fn weighted_arrival_covered_sets_add_weight() {
+        let mut idx = build_weighted(3, &[&[0]], &[2.0]);
+        idx.cover_with(0);
+        let mut seeds = vec![false; 3];
+        seeds[0] = true;
+        let batch: RrArena = [&[0u32, 1][..], &[2][..]].into_iter().collect();
+        let covered = idx.add_range_weighted(&batch, 0, 2, &seeds, &[3.0, 0.5]);
+        assert_eq!(covered, 1);
+        assert_eq!(idx.covered_weight(), 5.0);
+        assert_eq!(idx.coverage_weight(1), 0.0);
+        assert_eq!(idx.coverage_weight(2), 0.5);
+    }
+
+    #[test]
+    fn add_range_matches_add_batch_on_the_slice() {
+        let arena: RrArena = [&[0u32, 1][..], &[1, 2], &[2], &[0, 3]]
+            .into_iter()
+            .collect();
+        let mut by_range = RrCoverage::new(4);
+        by_range.add_range(&arena, 1, 3, &[false; 4]);
+        let sub: RrArena = [&[1u32, 2][..], &[2][..]].into_iter().collect();
+        let mut by_batch = RrCoverage::new(4);
+        by_batch.add_batch(&sub, &[false; 4]);
+        assert_eq!(by_range.num_sets(), by_batch.num_sets());
+        for v in 0..4u32 {
+            assert_eq!(by_range.coverage(v), by_batch.coverage(v), "node {v}");
+        }
+        // Prefix growth: ingesting [0,1) then [1,3) equals [0,3) at once.
+        let mut grown = RrCoverage::new(4);
+        grown.add_range(&arena, 0, 1, &[false; 4]);
+        grown.add_range(&arena, 1, 3, &[false; 4]);
+        let mut whole = RrCoverage::new(4);
+        whole.add_range(&arena, 0, 3, &[false; 4]);
+        for v in 0..4u32 {
+            assert_eq!(grown.coverage(v), whole.coverage(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_survives_rebuild_and_compact() {
+        // Force compaction with a covered hub, then check the weighted view
+        // is recomputed consistently and the accounting stays exact.
+        let mut idx = RrCoverage::new_weighted(50);
+        let big: RrArena = (0..400u32).map(|i| vec![0, 1 + i % 49]).collect();
+        let w: Vec<f32> = (0..400).map(|i| 1.0 + (i % 3) as f32).collect();
+        idx.add_range_weighted(&big, 0, 400, &[false; 50], &w);
+        let hub_weight: f64 = w.iter().map(|&x| f64::from(x)).sum();
+        assert!((idx.coverage_weight(0) - hub_weight).abs() < 1e-9);
+        assert_eq!(idx.cover_with(0), 400);
+        assert!((idx.covered_weight() - hub_weight).abs() < 1e-9);
+        idx.compact();
+        assert_exact_accounting(&idx);
+        assert_eq!(idx.coverage_weight(0), 0.0);
+        assert!((idx.covered_weight() - hub_weight).abs() < 1e-9);
+        // Post-compaction growth keeps working on the weighted side.
+        let more: RrArena = (0..4u32).map(|i| vec![1 + i]).collect();
+        idx.add_range_weighted(&more, 0, 4, &[false; 50], &[0.25; 4]);
+        assert_eq!(idx.coverage_weight(1), 0.25);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   samples, used for incentive pricing (singleton spreads of *all* nodes
 //!   from one sample) and for algorithm-independent evaluation of final
 //!   allocations.
+//! * [`pool`]: the **shared cross-advertiser RR pool** — ads are grouped by
+//!   diffusion model, each group samples one arena from a reference model,
+//!   and topic-aware tenants whose mixture differs from the reference read
+//!   the shared sets through per-set importance weights (trajectory
+//!   likelihood ratios), so total sampling cost scales with the number of
+//!   *distinct* models rather than the number of ads.
 
 #![forbid(unsafe_code)]
 
@@ -39,6 +45,7 @@ pub mod estimator;
 pub mod im;
 pub mod index;
 pub mod opim;
+pub mod pool;
 pub mod sampler;
 pub mod tim;
 
@@ -49,6 +56,7 @@ pub use estimator::{
 pub use im::{tim_influence_maximization, ImResult};
 pub use index::{GreedyExtension, LazyGreedyHeap, RrCoverage};
 pub use opim::{BoundCheck, StoppingRule};
+pub use pool::{SharedRrPool, TenantMode};
 pub use sampler::{
     sample_rr_batch, sample_rr_batch_model, sample_rr_set, stream_seed, PreparedSampler,
     RrWorkspace,

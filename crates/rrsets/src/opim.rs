@@ -157,6 +157,25 @@ impl StoppingRule {
         self.min_pilot
     }
 
+    /// Clamps the certification pilot floor to the doubling cap.
+    ///
+    /// On tiny graphs Eq. 8's worst case `theta_cap` can sit below
+    /// [`MIN_PILOT`]. The schedule then starts *at* the cap
+    /// ([`initial_theta`] clamps from above), but [`Self::check`]'s
+    /// `theta >= min_pilot` gate could never pass, so the rule silently
+    /// degenerated to "run to the cap and report uncertified" — every
+    /// check wasted. Certifying at `θ = theta_cap` is sound: the cap
+    /// carries Eq. 8's fixed-θ guarantee by construction, so a stream
+    /// that has reached it holds at least the worst-case evidence the
+    /// pilot gate exists to demand. The floor is therefore lowered to the
+    /// cap; in the normal regime (`theta_cap ≥ MIN_PILOT`) this is the
+    /// identity.
+    #[must_use]
+    pub fn with_pilot_floor(mut self, theta_cap: usize) -> Self {
+        self.min_pilot = self.min_pilot.min(theta_cap.max(1));
+        self
+    }
+
     /// Evaluates the rule on equal-sized streams of `theta` sets each.
     ///
     /// * `check_index` — 1-based per-advertiser check counter, addressing
@@ -240,6 +259,26 @@ mod tests {
         // The same evidence at the pilot floor certifies.
         let at_pilot = r.check(MIN_PILOT, 1, 50_000.0, 50_000.0, 1.0);
         assert!(at_pilot.satisfied);
+    }
+
+    #[test]
+    fn tiny_cap_clamps_the_pilot_gate() {
+        // Eq. 8 cap below MIN_PILOT (tiny graph): the schedule starts at
+        // the cap, and without the clamp the θ ≥ MIN_PILOT gate could
+        // never pass — the rule degenerated to "run to the cap, never
+        // certify". With the clamp, strong evidence at θ = cap certifies.
+        let cap = 40;
+        assert!(cap < MIN_PILOT);
+        assert_eq!(initial_theta(cap), cap);
+        let r = StoppingRule::new(16, 0.3, 1.0).with_pilot_floor(cap);
+        assert_eq!(r.min_pilot(), cap);
+        let bc = r.check(cap, 1, 50_000.0, 50_000.0, 1.0);
+        assert!(bc.satisfied, "clamped pilot must allow certification");
+        // Below the (clamped) cap the gate still blocks.
+        assert!(!r.check(cap - 1, 1, 50_000.0, 50_000.0, 1.0).satisfied);
+        // Large caps leave the MIN_PILOT gate untouched.
+        let r2 = StoppingRule::new(16, 0.3, 1.0).with_pilot_floor(1_000_000);
+        assert_eq!(r2.min_pilot(), MIN_PILOT);
     }
 
     #[test]

@@ -110,7 +110,7 @@ struct InSlot {
 /// representable, so the float comparison is equivalent to
 /// `(next_u32() >> 8) < ceil(p · 2²⁴)` — one shift and one integer compare.
 #[inline]
-fn threshold(p: f32) -> u32 {
+pub(crate) fn threshold(p: f32) -> u32 {
     debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
     (f64::from(p) * 16_777_216.0).ceil() as u32
 }
@@ -289,7 +289,7 @@ fn sample_rr_set_into(
 /// `NAN` otherwise. This is the only per-ad state besides the mixture
 /// itself: O(n) floats, computed with one O(m·L) scan at prepare time — the
 /// shared table stays per-model.
-fn gather_tic_skip_ln(g: &CsrGraph, shared: &TicInSlots, gamma: &[f32]) -> Vec<f64> {
+pub(crate) fn gather_tic_skip_ln(g: &CsrGraph, shared: &TicInSlots, gamma: &[f32]) -> Vec<f64> {
     (0..g.num_nodes() as NodeId)
         .map(|v| {
             let (lo, hi) = g.in_slot_range(v);
@@ -382,7 +382,134 @@ fn sample_tic_rr_set_into(
 }
 
 /// A full 24-bit coin threshold: `next_coin() < COIN_FULL` always holds.
-const COIN_FULL: u32 = 1 << 24;
+pub(crate) const COIN_FULL: u32 = 1 << 24;
+
+/// [`sample_tic_rr_set_into`] with a **trace** of every per-slot live-edge
+/// decision, the raw material of the shared pool's importance reweighting
+/// (`crate::pool`): `on_decide(slot, accepted)` fires once per in-slot whose
+/// live/blocked outcome this set's trajectory determined. Tracing never
+/// perturbs the RNG stream — the function is draw-for-draw identical to the
+/// untraced sampler, so pooled arenas stay bit-identical to private ones.
+///
+/// Decision coverage, matching the untraced control flow exactly:
+/// * per-edge path: one decision per unvisited-source slot with a positive
+///   threshold (`thr == 0` consumes no draw and is a deterministic failure —
+///   the pool's support check guarantees every tenant agrees);
+/// * geometric-skip path: each jump decides every slot from the current
+///   position through the landing — gap slots failed, the landing accepted;
+///   an overshoot (`j ≥ m`) means all remaining slots failed. Slots whose
+///   source is already visited still get their decision (their draw is burnt
+///   either way), which is harmless: their outcome cannot change the set,
+///   and their weight ratio has mean 1 under the reference.
+#[allow(clippy::too_many_arguments)]
+fn sample_tic_rr_set_into_traced(
+    g: &CsrGraph,
+    shared: &TicInSlots,
+    gamma: &[f32],
+    skip_ln: &[f64],
+    ws: &mut RrWorkspace,
+    set_seed: u64,
+    arena: &mut RrArena,
+    on_decide: &mut impl FnMut(usize, bool),
+) -> u64 {
+    let n = g.num_nodes();
+    debug_assert!(n > 0, "cannot sample from an empty graph");
+    let mut rng = SplitMix64::new(set_seed);
+    ws.begin();
+    let root = (rng.next_u64() % n as u64) as NodeId;
+    ws.mark[root as usize] = ws.epoch;
+    let start = arena.nodes.len();
+    arena.nodes.push(root);
+    let src = shared.sources();
+
+    let mut width = 0u64;
+    let mut i = start;
+    while i < arena.nodes.len() {
+        let v = arena.nodes[i];
+        i += 1;
+        let (lo, hi) = g.in_slot_range(v);
+        let m = hi - lo;
+        width += m as u64;
+        if m >= SKIP_MIN_DEGREE && skip_ln[v as usize] < 0.0 {
+            let nl = skip_ln[v as usize];
+            let mut j = 0usize;
+            loop {
+                let u = rng.next_f64();
+                let land = j + ((1.0 - u).ln() / nl) as usize;
+                for t in j..land.min(m) {
+                    on_decide(lo + t, false);
+                }
+                j = land;
+                if j >= m {
+                    break;
+                }
+                on_decide(lo + j, true);
+                let s = src[lo + j];
+                if ws.mark[s as usize] != ws.epoch {
+                    ws.mark[s as usize] = ws.epoch;
+                    arena.nodes.push(s);
+                }
+                j += 1;
+            }
+        } else {
+            for (j, &s) in src.iter().enumerate().take(hi).skip(lo) {
+                if ws.mark[s as usize] == ws.epoch {
+                    continue;
+                }
+                let thr = threshold(shared.mixed_prob(j, gamma));
+                if thr > 0 {
+                    let accepted = rng.next_coin() < thr;
+                    on_decide(j, accepted);
+                    if accepted {
+                        ws.mark[s as usize] = ws.epoch;
+                        arena.nodes.push(s);
+                    }
+                }
+            }
+        }
+    }
+    arena.offsets.push(arena.nodes.len() as u64);
+    width
+}
+
+/// Samples the set-index range `lo..hi` of the logical stream `(seed,
+/// first_index)` onto `arena`, tracing per-slot decisions. Per-set seeds are
+/// derived exactly like [`PreparedSampler::sample_batch`]'s
+/// (`mix64(mix64(seed) ^ (first_index + idx))`), so the appended sets are
+/// bit-identical to an untraced batch over the same range. `on_set_done`
+/// fires after each set with its width, delimiting the decision stream.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_tic_rr_range_traced(
+    g: &CsrGraph,
+    shared: &TicInSlots,
+    gamma: &[f32],
+    skip_ln: &[f64],
+    seed: u64,
+    first_index: u64,
+    lo: usize,
+    hi: usize,
+    arena: &mut RrArena,
+    mut on_decide: impl FnMut(usize, bool),
+    mut on_set_done: impl FnMut(u64),
+) {
+    debug_assert!(g.num_nodes() > 0, "cannot sample from an empty graph");
+    let base = mix64(seed);
+    let mut ws = RrWorkspace::new(g.num_nodes());
+    for idx in lo..hi {
+        let set_seed = mix64(base ^ (first_index + idx as u64));
+        let width = sample_tic_rr_set_into_traced(
+            g,
+            shared,
+            gamma,
+            skip_ln,
+            &mut ws,
+            set_seed,
+            arena,
+            &mut on_decide,
+        );
+        on_set_done(width);
+    }
+}
 
 /// One in-slot record of the LT sampling tables: Walker-alias acceptance
 /// threshold (24-bit integer coin, see [`threshold`]), fallback in-slot
@@ -1156,6 +1283,65 @@ mod tests {
         let (c, wc) = capped.sample_batch(&g, 100, 9, 0);
         assert_eq!(a, c);
         assert_eq!(wa, wc);
+    }
+
+    #[test]
+    fn tic_traced_range_is_bit_identical_to_untraced_batches() {
+        use rm_diffusion::{TicModel, TopicDistribution};
+        // Mixed-degree graph hitting both the per-edge and the skip path:
+        // an in-star (degree 20, uniform mixed probability 0.5) plus a
+        // low-degree chain.
+        let mut edges: Vec<(u32, u32)> = (0..20).map(|leaf| (leaf, 20)).collect();
+        edges.extend([(20, 21), (21, 22), (22, 0)]);
+        let g = graph_from_edges(23, &edges);
+        let probs: Vec<f32> = (0..g.num_edges()).flat_map(|_| [0.8, 0.2]).collect();
+        let tic = std::sync::Arc::new(TicModel::from_matrix(&g, 2, probs));
+        let gamma_d = TopicDistribution::uniform(2);
+        let model = DiffusionModel::tic(Arc::clone(&tic), gamma_d.clone());
+        let sampler = PreparedSampler::for_model(&g, &model);
+        let (want, want_w) = sampler.sample_batch(&g, 300, 77, 0);
+
+        let shared = tic.in_slot_view(&g);
+        let gamma = gamma_d.weights().to_vec();
+        let skip_ln = gather_tic_skip_ln(&g, &shared, &gamma);
+        assert!(skip_ln[20] < 0.0, "center must take the geometric path");
+        let mut arena = RrArena::new();
+        let mut widths = Vec::new();
+        let mut decisions = 0usize;
+        sample_tic_rr_range_traced(
+            &g,
+            &shared,
+            &gamma,
+            &skip_ln,
+            77,
+            0,
+            0,
+            300,
+            &mut arena,
+            |_slot, _accepted| decisions += 1,
+            |w| widths.push(w),
+        );
+        assert_eq!(arena, want, "tracing must not perturb the sample");
+        assert_eq!(widths, want_w);
+        assert!(decisions > 0, "the trace must observe decisions");
+        // Split ranges continue the same logical stream.
+        let mut split = RrArena::new();
+        for (lo, hi) in [(0usize, 100usize), (100, 300)] {
+            sample_tic_rr_range_traced(
+                &g,
+                &shared,
+                &gamma,
+                &skip_ln,
+                77,
+                0,
+                lo,
+                hi,
+                &mut split,
+                |_, _| {},
+                |_| {},
+            );
+        }
+        assert_eq!(split, want);
     }
 
     #[test]

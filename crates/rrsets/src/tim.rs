@@ -129,10 +129,25 @@ impl KptEstimator {
         let n_f = n as f64;
         let log2n = n_f.log2().max(1.0);
         let mut last_widths: Vec<u64> = Vec::new();
-        let max_rounds = (log2n.floor() as usize).saturating_sub(1).max(1);
+        // Small-graph regime: for n < 4 the TIM round schedule degenerates —
+        // `⌊log₂ n⌋ − 1` underflows to the 1-round floor and, with `log2n`
+        // clamped to 1, the `c_i` formula yields single-digit pilots (9 sets
+        // at n = 2, 19 at n = 3), silently turning the KPT* estimate into
+        // noise on unit-test-sized graphs. Make that explicit: one round,
+        // pilot floored at `SMALL_N_PILOT` sets so the cached widths carry
+        // real evidence. n ≥ 4 keeps the legacy schedule bit-identically
+        // (golden-pinned).
+        const SMALL_N_PILOT: usize = 64;
+        let small_n = n < 4;
+        let max_rounds = if small_n {
+            1
+        } else {
+            (log2n.floor() as usize).saturating_sub(1).max(1)
+        };
         for i in 1..=max_rounds {
             let c_i = ((6.0 * cfg.ell * n_f.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32)).ceil()
                 as usize;
+            let c_i = if small_n { c_i.max(SMALL_N_PILOT) } else { c_i };
             let c_i = c_i.min(cfg.max_sets_per_ad.max(1));
             // Golden-pinned legacy stream. rm-lint: allow(rng-discipline)
             let (_, widths) = sampler.sample_batch(g, c_i, seed ^ (i as u64) << 48, 0);
@@ -281,6 +296,39 @@ mod tests {
         let b5 = est.opt_lower_bound(5);
         let b20 = est.opt_lower_bound(20);
         assert!(b1 <= b5 && b5 <= b20, "{b1} {b5} {b20}");
+    }
+
+    #[test]
+    fn tiny_graph_pilot_is_floored() {
+        // n = 2 and n = 3 hit the small-n branch: exactly one estimation
+        // round, pilot of at least SMALL_N_PILOT sets (the legacy schedule
+        // drew 9 and 19 sets respectively), bound still at least k.
+        for n in [2usize, 3] {
+            let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let g = graph_from_edges(n, &edges);
+            let probs = rm_diffusion::AdProbs::from_vec(vec![1.0; g.num_edges()]);
+            let est = KptEstimator::estimate(&g, &probs, 1, &TimConfig::default(), 7);
+            assert!(
+                est.widths.len() >= 64,
+                "n={n}: pilot of only {} sets",
+                est.widths.len()
+            );
+            assert!(est.opt_lower_bound(1) >= 1.0);
+            assert!(est.opt_lower_bound(2) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn small_n_pilot_respects_sample_cap() {
+        // The small-n floor must still bow to the per-ad safety cap.
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let probs = rm_diffusion::AdProbs::from_vec(vec![1.0]);
+        let cfg = TimConfig {
+            max_sets_per_ad: 10,
+            ..Default::default()
+        };
+        let est = KptEstimator::estimate(&g, &probs, 1, &cfg, 7);
+        assert!(est.widths.len() <= 10, "{} sets", est.widths.len());
     }
 
     #[test]

@@ -223,6 +223,119 @@ fn tic_selection_is_thread_count_invariant() {
     }
 }
 
+#[test]
+fn rr_sharing_clears_the_guarantee_on_certified_optima() {
+    // The §4 guarantee must survive the shared RR pool: on the IC gadget
+    // both ads are identical tenants reading one arena bit-identically; on
+    // the TIC gadget the second ad reads the founder's sets through
+    // importance weights. Both sampling strategies × both algorithms × 20
+    // seeds, scored by exact possible-world enumeration.
+    for (label, inst) in [("IC", gadget()), ("TIC", tic_gadget())] {
+        let n = inst.num_nodes();
+        let p = inst.to_exact_problem();
+        let (_, opt) = revmax::submod::exact::brute_force_optimum(&p);
+        assert!(opt > 0.0, "{label}: degenerate gadget");
+        let floor = guarantee_floor() * opt;
+
+        for strategy in [SamplingStrategy::FixedTheta, SamplingStrategy::OnlineBounds] {
+            for kind in [AlgorithmKind::TiCarm, AlgorithmKind::TiCsrm] {
+                let mut ratios = Vec::with_capacity(20);
+                for seed in 0..20u64 {
+                    let cfg = ScalableConfig {
+                        epsilon: EPSILON,
+                        sampling: strategy,
+                        max_sets_per_ad: 400_000,
+                        rr_sharing: true,
+                        seed: 1000 + seed,
+                        ..Default::default()
+                    };
+                    let (alloc, stats) = TiEngine::new(&inst, kind, cfg).run();
+                    // The pool must actually serve both ads (the TIC pair
+                    // through one reweighted tenant), or this arm silently
+                    // degrades into the private-stream suite above.
+                    assert_eq!(stats.pool_groups, 1, "{label}: pool not engaged");
+                    assert_eq!(stats.pooled_ads, 2);
+                    assert_eq!(
+                        stats.reweighted_ads,
+                        usize::from(label == "TIC"),
+                        "{label}: unexpected reweighting"
+                    );
+                    let got = exact_revenue(&p, &alloc, n);
+                    assert!(
+                        got + 1e-9 >= floor,
+                        "pooled {label} {} {} seed {seed}: exact revenue {got} below \
+                         (1-1/e-ε)·OPT = {floor} (OPT {opt})",
+                        strategy.name(),
+                        kind.name(),
+                    );
+                    ratios.push(got / opt);
+                }
+                let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                assert!(
+                    mean >= 2.0 * guarantee_floor(),
+                    "pooled {label} {} {}: mean exact ratio {mean} lacks margin ({ratios:?})",
+                    strategy.name(),
+                    kind.name(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rr_sharing_matches_private_revenue_under_linear_threshold() {
+    // No LT gadget admits exact enumeration, so the LT pooled arm is an
+    // agreement test: identical LT ads pool into one group (alias tables
+    // keyed by content-equal in-weights) and the pooled allocation's
+    // independently evaluated revenue must track the private run's.
+    let mut rng = SmallRng::seed_from_u64(23);
+    let g = Arc::new(generators::barabasi_albert(400, 3, &mut rng));
+    let tic = TicModel::weighted_cascade(&g);
+    let ads = (0..3)
+        .map(|_| Advertiser::new(1.0, 60.0, TopicDistribution::uniform(1)))
+        .collect();
+    let inst = RmInstance::build_lt(
+        g,
+        &tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.2 },
+        SingletonMethod::RrEstimate { theta: 20_000 },
+        23 ^ 0x6A4D,
+    );
+    let eval = EvalMethod::RrSets { theta: 60_000 };
+    let run = |sharing: bool| {
+        let cfg = ScalableConfig {
+            epsilon: EPSILON,
+            max_sets_per_ad: 400_000,
+            rr_sharing: sharing,
+            seed: 7,
+            ..Default::default()
+        };
+        let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+        (
+            evaluate_allocation(&inst, &alloc, eval, 99).total_revenue(),
+            stats,
+        )
+    };
+    let (rev_private, stats_private) = run(false);
+    let (rev_pooled, stats_pooled) = run(true);
+    assert!(rev_private > 0.0 && rev_pooled > 0.0);
+    assert_eq!(stats_pooled.pool_groups, 1, "LT ads did not pool");
+    assert_eq!(stats_pooled.pooled_ads, 3);
+    assert_eq!(stats_pooled.reweighted_ads, 0);
+    assert_eq!(stats_private.pool_groups, 0);
+    assert!(
+        (rev_private - rev_pooled).abs() <= 0.05 * rev_private,
+        "LT pooled revenue {rev_pooled} diverges from private {rev_private}"
+    );
+    assert!(
+        stats_pooled.rr_sets_sampled * 2 < stats_private.rr_sets_sampled,
+        "LT pool drew {} sets vs {} private — sharing never engaged",
+        stats_pooled.rr_sets_sampled,
+        stats_private.rr_sets_sampled,
+    );
+}
+
 /// Quality-style mid-size instance (BA graph, Weighted Cascade, competing
 /// ads, linear incentives) shared by the agreement tests.
 fn quality_style_instance(seed: u64) -> RmInstance {
