@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! experiments <id> [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]
-//!             [--selection-threads n]
+//!             [--selection-threads n] [--sampler-threads n]
 //!
 //! ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality
 //!      ablation-lazy ablation-term ablation-singleton ablation-opim pool-ablation
 //!      quality   (fig2+fig3+fig4)
 //!      scalability (fig5+table3)
+//!      scale     (out-of-core snapshot tier; not part of `all`)
 //!      all
 //! ```
 //!
@@ -47,6 +48,15 @@ fn main() {
                     opts.selection_threads = usize::MAX;
                 }
             }
+            "--sampler-threads" => {
+                let v = it.next().expect("--sampler-threads needs a value");
+                opts.sampler_threads = v
+                    .parse()
+                    .expect("--sampler-threads must be an integer (0 = hardware)");
+                if opts.sampler_threads == 0 {
+                    opts.sampler_threads = usize::MAX;
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -58,17 +68,22 @@ fn main() {
         usage();
         std::process::exit(2);
     }
+    let threads = |t: usize| {
+        if t == usize::MAX {
+            "hw".to_string()
+        } else {
+            t.to_string()
+        }
+    };
     println!(
-        "# experiments: {ids:?}  scale={} seed={} quick={} paper_eps={} selection_threads={}",
+        "# experiments: {ids:?}  scale={} seed={} quick={} paper_eps={} selection_threads={} \
+         sampler_threads={}",
         opts.scale,
         opts.seed,
         opts.quick,
         opts.paper_eps,
-        if opts.selection_threads == usize::MAX {
-            "hw".to_string()
-        } else {
-            opts.selection_threads.to_string()
-        }
+        threads(opts.selection_threads),
+        threads(opts.sampler_threads)
     );
     for id in ids {
         run(&id, opts);
@@ -96,6 +111,9 @@ fn run(id: &str, opts: Opts) {
             experiments::fig4(opts);
         }
         "scalability" => experiments::fig5_table3(opts),
+        // Not folded into `all`: the full tier is a multi-GB, half-hour-class
+        // run; invoke it explicitly (CI smokes it with --quick).
+        "scale" => rm_bench::scale::scale_tier(opts),
         "all" => {
             experiments::table1(opts);
             experiments::table2(opts);
@@ -123,9 +141,9 @@ fn run(id: &str, opts: Opts) {
 fn usage() {
     eprintln!(
         "usage: experiments <id>... [--scale f] [--seed s] [--quick] [--paper-eps] [--paper-scale]\n\
-              [--selection-threads n]\n\
+              [--selection-threads n] [--sampler-threads n]\n\
          ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality\n\
               ablation-lazy ablation-term ablation-singleton ablation-opim\n\
-              pool-ablation quality scalability all"
+              pool-ablation quality scalability scale all"
     );
 }

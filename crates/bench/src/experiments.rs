@@ -30,6 +30,10 @@ pub struct Opts {
     /// (`ScalableConfig::selection_threads`); `usize::MAX` = hardware
     /// parallelism. Results are bit-identical for every value.
     pub selection_threads: usize,
+    /// Worker-thread cap for RR-set batch sampling
+    /// (`ScalableConfig::sampler_threads`); `usize::MAX` = hardware
+    /// parallelism. Results are bit-identical for every value.
+    pub sampler_threads: usize,
 }
 
 impl Default for Opts {
@@ -40,15 +44,17 @@ impl Default for Opts {
             quick: false,
             paper_eps: false,
             selection_threads: usize::MAX,
+            sampler_threads: usize::MAX,
         }
     }
 }
 
 impl Opts {
     /// Applies the harness-level engine knobs on top of a base config.
-    fn engine_cfg(&self, base: ScalableConfig) -> ScalableConfig {
+    pub(crate) fn engine_cfg(&self, base: ScalableConfig) -> ScalableConfig {
         ScalableConfig {
             selection_threads: self.selection_threads,
+            sampler_threads: self.sampler_threads,
             ..base
         }
     }

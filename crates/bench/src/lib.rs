@@ -10,9 +10,12 @@
 //!   serialization crates), written under `target/experiments/`.
 //! * [`experiments`] — one function per paper artifact (`table1` … `fig5`)
 //!   and per ablation, shared by the `experiments` binary.
+//! * [`scale`] — the out-of-core snapshot tier: a LiveJournal-class
+//!   build → text ingest → snapshot → reload → pooled-allocation run.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod report;
+pub mod scale;
 pub mod setup;

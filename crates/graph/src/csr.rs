@@ -14,11 +14,26 @@ pub type NodeId = u32;
 /// Canonical edge identifier (position in the out-CSR).
 pub type EdgeId = u32;
 
+/// The five raw CSR sections, in snapshot order: `(out_offsets,
+/// out_targets, in_offsets, in_sources, in_eids)`.
+pub type CsrParts<'a> = (
+    &'a [u32],
+    &'a [NodeId],
+    &'a [u32],
+    &'a [NodeId],
+    &'a [EdgeId],
+);
+
 /// Immutable directed graph in CSR form.
 ///
 /// Construct via [`crate::GraphBuilder`] or the generators; the constructor
 /// here ([`CsrGraph::from_sorted_edges`]) expects pre-cleaned input.
-#[derive(Clone, Debug)]
+///
+/// Equality is **representational**: two graphs compare equal iff every CSR
+/// array matches element for element. That is exactly the bit-identity the
+/// snapshot round trip (`crate::snapshot`) promises, and stricter than
+/// structural isomorphism.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     n: usize,
     /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets`.
@@ -86,6 +101,103 @@ impl CsrGraph {
             in_sources,
             in_eids,
         }
+    }
+
+    /// Rebuilds a graph from raw CSR sections, validating every structural
+    /// invariant the accessors rely on (offset monotonicity and bounds,
+    /// endpoint ranges, in/out degree agreement, and that `in_eids` is a
+    /// permutation of the canonical edge-id space consistent with
+    /// `in_sources`). This is the trusted-data entry point of the binary
+    /// snapshot reader (`crate::snapshot`): the checks are `O(n + m)` with
+    /// small constants — a single pass over each section — so reload stays
+    /// I/O-bound while corrupt input is still rejected rather than causing
+    /// panics (or silent nonsense) later.
+    pub fn from_parts(
+        n: usize,
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<NodeId>,
+        in_eids: Vec<EdgeId>,
+    ) -> Result<Self, String> {
+        let m = out_targets.len();
+        let fail = |msg: String| Err(msg);
+        if out_offsets.len() != n + 1 || in_offsets.len() != n + 1 {
+            return fail(format!(
+                "offset sections sized {}/{}, want {}",
+                out_offsets.len(),
+                in_offsets.len(),
+                n + 1
+            ));
+        }
+        if in_sources.len() != m || in_eids.len() != m {
+            return fail(format!(
+                "in-sections sized {}/{}, want {m}",
+                in_sources.len(),
+                in_eids.len()
+            ));
+        }
+        if m > u32::MAX as usize {
+            return fail(format!("edge count {m} exceeds u32 range"));
+        }
+        for (name, offs) in [("out", &out_offsets), ("in", &in_offsets)] {
+            if offs[0] != 0 || offs[n] as usize != m {
+                return fail(format!("{name}_offsets must span 0..={m}"));
+            }
+            if offs.windows(2).any(|w| w[0] > w[1]) {
+                return fail(format!("{name}_offsets not monotone"));
+            }
+        }
+        if out_targets.iter().any(|&v| v as usize >= n)
+            || in_sources.iter().any(|&u| u as usize >= n)
+        {
+            return fail("endpoint out of range".to_string());
+        }
+        // `in_eids[slot]` must name an edge that really points at the slot's
+        // owner, from the slot's recorded source. Checking via the out-CSR is
+        // one comparison per edge; together with the per-node in-degree sums
+        // implied by the offset checks above this pins the in-view to the
+        // out-view exactly.
+        let mut seen = vec![false; m];
+        for v in 0..n {
+            let (a, b) = (in_offsets[v] as usize, in_offsets[v + 1] as usize);
+            for slot in a..b {
+                let eid = in_eids[slot] as usize;
+                if eid >= m || seen[eid] {
+                    return fail(format!("in_eids is not a permutation at slot {slot}"));
+                }
+                seen[eid] = true;
+                let src = in_sources[slot] as usize;
+                let lo = out_offsets[src] as usize;
+                let hi = out_offsets[src + 1] as usize;
+                if !(lo..hi).contains(&eid) || out_targets[eid] as usize != v {
+                    return fail(format!(
+                        "in-slot {slot} (edge {eid}) disagrees with the out view"
+                    ));
+                }
+            }
+        }
+        Ok(CsrGraph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_eids,
+        })
+    }
+
+    /// The raw CSR sections, in snapshot order: `(out_offsets, out_targets,
+    /// in_offsets, in_sources, in_eids)`. Consumed by the binary snapshot
+    /// writer; offsets have length `n + 1`, the other three length `m`.
+    pub fn parts(&self) -> CsrParts<'_> {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            &self.in_offsets,
+            &self.in_sources,
+            &self.in_eids,
+        )
     }
 
     /// Number of nodes.

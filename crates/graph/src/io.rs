@@ -54,14 +54,80 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<CsrGraph> {
     Ok(read_edge_list_compacted(reader)?.graph)
 }
 
+/// Allocation accounting for one ingest pass, tracked at the points where
+/// the working set changes shape. The workspace forbids `unsafe`, which rules
+/// out a counting `GlobalAlloc`; instead every buffer the reader owns is
+/// capacity-accounted at each checkpoint, which bounds the true heap high-water
+/// mark of the ingest path (the only untracked allocations are the short-lived
+/// sort scratch inside `sort_unstable`, which is O(1) auxiliary).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Peak tracked bytes live at once across the ingest checkpoints: the
+    /// reused line buffer, the raw `(u64, u64)` edge tuples, the endpoint id
+    /// tables, the builder's edge list, and the final CSR.
+    pub peak_bytes: usize,
+    /// Whether a `# nodes N edges M` header was found and used to
+    /// preallocate the tuple buffer exactly.
+    pub header_preallocated: bool,
+}
+
+/// Largest edge count a `# nodes N edges M` header may preallocate (4 GB of
+/// tuples). A corrupt header beyond this is ignored rather than trusted with
+/// the address space; parsing then proceeds with ordinary doubling growth.
+const MAX_HEADER_PREALLOC_EDGES: usize = 1 << 28;
+
+/// Parses the `# nodes N edges M` count header emitted by
+/// [`write_edge_list`]. Anything that does not match exactly — wrong words,
+/// extra tokens, unparseable counts — yields `None`, so a malformed or absent
+/// header silently degrades to the no-preallocation path.
+fn parse_count_header(t: &str) -> Option<(usize, usize)> {
+    let mut it = t.strip_prefix('#')?.split_whitespace();
+    (it.next()? == "nodes").then_some(())?;
+    let n = it.next()?.parse().ok()?;
+    (it.next()? == "edges").then_some(())?;
+    let m = it.next()?.parse().ok()?;
+    it.next().is_none().then_some((n, m))
+}
+
 /// Reads an edge list, returning both the compacted graph and the
 /// dense-id → original-id mapping.
 pub fn read_edge_list_compacted<R: BufRead>(reader: R) -> io::Result<CompactedEdgeList> {
+    read_edge_list_compacted_with_stats(reader).map(|(out, _)| out)
+}
+
+/// [`read_edge_list_compacted`] plus [`IngestStats`] allocation accounting.
+///
+/// The parse loop reuses one line buffer (`read_line`) instead of allocating
+/// a `String` per line, and the dense-id table is derived without ever
+/// holding a flat copy of all `2m` endpoints: the tuple buffer is sorted by
+/// source to collect the ≤ n distinct sources, re-sorted by destination to
+/// collect the ≤ n distinct destinations, and the two small sorted tables are
+/// merged. At m = 10⁸ that replaces a 1.6 GB endpoint copy with two ≤ n-sized
+/// tables — the tuple buffer itself (16 B/edge) stays the high-water mark.
+pub fn read_edge_list_compacted_with_stats<R: BufRead>(
+    mut reader: R,
+) -> io::Result<(CompactedEdgeList, IngestStats)> {
+    let mut stats = IngestStats::default();
+    let mut peak = 0usize;
     let mut raw: Vec<(u64, u64)> = Vec::new();
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    let mut header: Option<(usize, usize)> = None;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
+            if header.is_none() && raw.is_empty() {
+                if let Some((n, m)) = parse_count_header(t) {
+                    header = Some((n, m));
+                    if m <= MAX_HEADER_PREALLOC_EDGES {
+                        raw.reserve_exact(m);
+                        stats.header_preallocated = true;
+                    }
+                }
+            }
             continue;
         }
         let mut parts = t.split_whitespace();
@@ -88,10 +154,64 @@ pub fn read_edge_list_compacted<R: BufRead>(reader: R) -> io::Result<CompactedEd
         })?;
         raw.push((u, v));
     }
-    // Dense remap: distinct endpoint ids, ascending.
-    let mut original_ids: Vec<u64> = raw.iter().flat_map(|&(u, v)| [u, v]).collect();
-    original_ids.sort_unstable();
-    original_ids.dedup();
+    let tuple_bytes = raw.capacity() * std::mem::size_of::<(u64, u64)>();
+    peak = peak.max(line.capacity() + tuple_bytes);
+
+    // Dense remap: distinct endpoint ids, ascending — derived from two
+    // in-place sorts of the tuple buffer rather than a flat 2m endpoint copy.
+    raw.sort_unstable_by_key(|&(u, _)| u);
+    let mut srcs: Vec<u64> = Vec::new();
+    for &(u, _) in &raw {
+        if srcs.last() != Some(&u) {
+            srcs.push(u);
+        }
+    }
+    raw.sort_unstable_by_key(|&(_, v)| v);
+    let mut dsts: Vec<u64> = Vec::new();
+    for &(_, v) in &raw {
+        if dsts.last() != Some(&v) {
+            dsts.push(v);
+        }
+    }
+    peak = peak.max(tuple_bytes + (srcs.capacity() + dsts.capacity()) * 8);
+
+    // Merge the two sorted distinct tables. The header's node count, when it
+    // is consistent with what was actually seen, sizes the table exactly;
+    // otherwise the sum of the halves is a tight upper bound (≤ 2n).
+    let id_cap = header
+        .map(|(n, _)| n)
+        .filter(|&n| n >= srcs.len().max(dsts.len()) && n <= srcs.len() + dsts.len())
+        .unwrap_or(srcs.len() + dsts.len());
+    let mut original_ids: Vec<u64> = Vec::with_capacity(id_cap);
+    let (mut i, mut j) = (0, 0);
+    while i < srcs.len() || j < dsts.len() {
+        let next = match (srcs.get(i), dsts.get(j)) {
+            (Some(&a), Some(&b)) if a == b => {
+                i += 1;
+                j += 1;
+                a
+            }
+            (Some(&a), Some(&b)) if a < b => {
+                i += 1;
+                a
+            }
+            (_, Some(&b)) => {
+                j += 1;
+                b
+            }
+            (Some(&a), None) => {
+                i += 1;
+                a
+            }
+            (None, None) => unreachable!("loop condition guarantees a remaining element"),
+        };
+        original_ids.push(next);
+    }
+    peak =
+        peak.max(tuple_bytes + (srcs.capacity() + dsts.capacity() + original_ids.capacity()) * 8);
+    drop(srcs);
+    drop(dsts);
+
     if original_ids.len() > NodeId::MAX as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -106,12 +226,22 @@ pub fn read_edge_list_compacted<R: BufRead>(reader: R) -> io::Result<CompactedEd
             .binary_search(&id)
             .expect("endpoint collected above") as NodeId
     };
-    let mut b = GraphBuilder::with_capacity(original_ids.len(), raw.len());
+    let raw_len = raw.len();
+    let mut b = GraphBuilder::with_capacity(original_ids.len(), raw_len);
+    // While `extend` drains the tuple buffer, it and the builder's (u32, u32)
+    // list are both live — the widest ingest moment after parsing.
+    peak = peak.max(tuple_bytes + raw_len * 8 + original_ids.capacity() * 8);
     b.extend(raw.into_iter().map(|(u, v)| (compact(u), compact(v))));
-    Ok(CompactedEdgeList {
-        graph: b.build(),
-        original_ids,
-    })
+    let graph = b.build();
+    peak = peak.max(graph.memory_bytes() + raw_len * 8 + original_ids.capacity() * 8);
+    stats.peak_bytes = peak;
+    Ok((
+        CompactedEdgeList {
+            graph,
+            original_ids,
+        },
+        stats,
+    ))
 }
 
 /// Reads an edge list from a file path.
@@ -222,6 +352,67 @@ mod tests {
         let out = read_edge_list_compacted(io::BufReader::new(wide.as_bytes())).unwrap();
         assert_eq!(out.graph.num_nodes(), 2);
         assert_eq!(out.original_ids, vec![5, 5_000_000_000]);
+    }
+
+    #[test]
+    fn count_header_preallocates_exactly() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (out, stats) =
+            read_edge_list_compacted_with_stats(io::BufReader::new(&buf[..])).unwrap();
+        assert!(
+            stats.header_preallocated,
+            "write_edge_list header must be used"
+        );
+        assert_eq!(out.graph.num_edges(), 4);
+    }
+
+    #[test]
+    fn headerless_list_still_parses() {
+        let text = "0 1\n1 2\n2 0\n";
+        let (out, stats) =
+            read_edge_list_compacted_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert!(!stats.header_preallocated);
+        assert_eq!(out.graph.num_nodes(), 3);
+        assert_eq!(out.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn malformed_headers_are_silent_noops() {
+        // Wrong words, trailing tokens, non-numeric counts, absurd counts:
+        // all must parse as plain comments, never as errors.
+        for hdr in [
+            "# nodes x edges 3",
+            "# edges 3 nodes 3",
+            "# nodes 3 edges 3 extra",
+            "# nodes 3",
+            "# nodes 3 edges 999999999999999999999999",
+        ] {
+            let text = format!("{hdr}\n0 1\n1 2\n");
+            let (out, stats) =
+                read_edge_list_compacted_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+            assert!(!stats.header_preallocated, "header {hdr:?} must be ignored");
+            assert_eq!(out.graph.num_edges(), 2);
+        }
+        // An oversized-but-parseable edge count is ignored for preallocation
+        // rather than trusted with 4+ GB of address space.
+        let text = "# nodes 2 edges 999999999\n0 1\n";
+        let (out, stats) =
+            read_edge_list_compacted_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert!(!stats.header_preallocated);
+        assert_eq!(out.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn header_only_counts_before_first_edge() {
+        // A header-shaped comment in the middle of the file must not trigger
+        // a late (useless) preallocation.
+        let text = "0 1\n# nodes 100 edges 100\n1 2\n";
+        let (out, stats) =
+            read_edge_list_compacted_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert!(!stats.header_preallocated);
+        assert_eq!(out.graph.num_edges(), 2);
     }
 
     #[test]

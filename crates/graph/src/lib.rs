@@ -40,6 +40,7 @@ pub mod generators;
 pub mod io;
 pub mod pagerank;
 pub mod seed;
+pub mod snapshot;
 pub mod synthetic;
 
 pub use builder::GraphBuilder;

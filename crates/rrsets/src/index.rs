@@ -31,6 +31,7 @@
 // must preserve this discipline.
 
 use rm_graph::NodeId;
+use rm_submod::bitset::{count_and_not, union_into};
 
 use crate::arena::RrArena;
 
@@ -633,22 +634,60 @@ impl RrCoverage {
         }
     }
 
-    /// Covered counts after committing `base` and then `ext` on a scratch
-    /// clone (`self` is untouched): returns
+    /// Sets bit `sid` in `bits` for every live set containing `v`: indexed
+    /// sets via the inverted varint list, the pending tail by forward scan —
+    /// the same two membership sources [`Self::cover_with`] consults.
+    fn mark_member_sets(&self, v: NodeId, bits: &mut [u64]) {
+        let mut k = self.inv_offsets[v as usize] as usize;
+        let end = self.inv_offsets[v as usize + 1] as usize;
+        let mut sid = 0u32;
+        while k < end {
+            sid += varint_read(&self.inv_bytes, &mut k);
+            bits[sid as usize / 64] |= 1u64 << (sid % 64);
+        }
+        for sid in self.indexed_sets..self.covered.len() {
+            let a = self.set_offsets[sid] as usize;
+            let b = self.set_offsets[sid + 1] as usize;
+            if self.set_nodes[a..b].contains(&v) {
+                bits[sid / 64] |= 1u64 << (sid % 64);
+            }
+        }
+    }
+
+    /// Covered counts after committing `base` and then `ext` (`self` is
+    /// untouched): returns
     /// `(covered(base ∪ ext), covered(base ∪ ext) − covered(base))` — the
     /// achieved total and the extension's share, the two validation-stream
     /// counts of the online stopping rule.
+    ///
+    /// Computed without cloning the index: committing a seed set covers
+    /// exactly its member sets minus those already covered, and membership
+    /// never changes during a commit sequence, so the sequential-cover
+    /// counts equal `|⋃ members \ covered|` — three word bitmaps over set
+    /// ids and two word-parallel difference counts
+    /// ([`rm_submod::bitset::count_and_not`]), versus the full index clone
+    /// (forward CSR + inverted CSR + per-node counts) this used to build per
+    /// call on the stopping rule's validation path.
     pub fn coverage_split(&self, base: &[NodeId], ext: &[NodeId]) -> (usize, usize) {
-        let mut scratch = self.clone();
+        let nwords = self.covered.len().div_ceil(64);
+        let mut covered_words = vec![0u64; nwords];
+        for (sid, &c) in self.covered.iter().enumerate() {
+            if c {
+                covered_words[sid / 64] |= 1u64 << (sid % 64);
+            }
+        }
+        let mut base_bits = vec![0u64; nwords];
         for &v in base {
-            scratch.cover_with(v);
+            self.mark_member_sets(v, &mut base_bits);
         }
-        let base_covered = scratch.covered_total();
+        let newly_base = count_and_not(&base_bits, &covered_words);
+        let mut all_bits = vec![0u64; nwords];
         for &v in ext {
-            scratch.cover_with(v);
+            self.mark_member_sets(v, &mut all_bits);
         }
-        let total = scratch.covered_total();
-        (total, total - base_covered)
+        union_into(&mut all_bits, &base_bits);
+        let newly_all = count_and_not(&all_bits, &covered_words);
+        (self.covered_total() + newly_all, newly_all - newly_base)
     }
 
     /// Plain greedy max-coverage of size `k` (test oracle / IM baseline).
@@ -989,6 +1028,47 @@ mod tests {
         assert_eq!(total, idx.covered_total());
         assert_eq!(total, 4);
         assert_eq!(gain, idx.covered_total() - after_base);
+    }
+
+    #[test]
+    fn coverage_split_matches_clone_reference_with_pending_tail() {
+        // The bitmap rewrite must agree with the historical clone-and-cover
+        // implementation on every (base, ext) pair — including sets that sit
+        // in the un-indexed pending tail and seeds covered beforehand.
+        let mut idx = build(
+            6,
+            &[&[0, 1], &[0, 2], &[1, 3], &[4], &[2, 5], &[3, 5], &[1]],
+        );
+        idx.cover_with(5);
+        // Small batch: stays pending (no rebuild at this size).
+        let tail: RrArena = [&[0u32, 4][..], &[3]].into_iter().collect();
+        idx.add_batch(&tail, &[false; 6]);
+        let nodes: Vec<NodeId> = (0..6).collect();
+        for base_len in 0..3 {
+            for ext_len in 0..3 {
+                let base = &nodes[..base_len];
+                let ext = &nodes[base_len..base_len + ext_len];
+                let got = idx.coverage_split(base, ext);
+                let mut scratch = idx.clone();
+                for &v in base {
+                    scratch.cover_with(v);
+                }
+                let after_base = scratch.covered_total();
+                for &v in ext {
+                    scratch.cover_with(v);
+                }
+                let want = (
+                    scratch.covered_total(),
+                    scratch.covered_total() - after_base,
+                );
+                assert_eq!(got, want, "split differs for base={base:?} ext={ext:?}");
+            }
+        }
+        // Overlapping base/ext and duplicate members are union-semantics.
+        assert_eq!(
+            idx.coverage_split(&[0, 0, 1], &[1, 0]),
+            idx.coverage_split(&[0, 1], &[])
+        );
     }
 
     /// Weighted index over hand-rolled sets with one weight per set.

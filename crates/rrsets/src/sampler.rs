@@ -724,7 +724,10 @@ impl Tables {
     }
 }
 
-/// Samples the contiguous set-index range `lo..hi` into a fresh arena.
+/// Samples the contiguous set-index range `lo..hi` into a fresh arena,
+/// reusing `ws` across calls — the visited array is O(n), so it must be
+/// per-worker state, not per-block (at n = 10⁷ a fresh workspace per block
+/// would zero 10 MB every thousand sets).
 fn sample_range(
     g: &CsrGraph,
     tables: &Tables,
@@ -732,24 +735,24 @@ fn sample_range(
     first_index: u64,
     lo: usize,
     hi: usize,
+    ws: &mut RrWorkspace,
 ) -> (RrArena, Vec<u64>) {
     let count = hi - lo;
     let mut arena = RrArena::with_capacity(count, 2 * count);
     let mut widths = Vec::with_capacity(count);
-    let mut ws = RrWorkspace::new(g.num_nodes());
     // Mean set size is unknown up front; after a pilot prefix, extrapolate
     // it so the node storage grows once instead of doubling repeatedly.
     let pilot = 512.min(count);
     for idx in lo..lo + pilot {
         let set_seed = mix64(base ^ (first_index + idx as u64));
-        widths.push(tables.sample_one(g, &mut ws, set_seed, &mut arena));
+        widths.push(tables.sample_one(g, ws, set_seed, &mut arena));
     }
     if pilot < count {
         let projected = arena.total_nodes() * count / pilot;
         arena.reserve_nodes(projected + projected / 8);
         for idx in lo + pilot..hi {
             let set_seed = mix64(base ^ (first_index + idx as u64));
-            widths.push(tables.sample_one(g, &mut ws, set_seed, &mut arena));
+            widths.push(tables.sample_one(g, ws, set_seed, &mut arena));
         }
     }
     (arena, widths)
@@ -760,15 +763,12 @@ fn sample_range(
 // `rm_rrsets::stream_seed` is the historical public path.
 pub use rm_graph::seed::{mix64, stream_seed};
 
-/// Contiguous, non-overlapping worker ranges covering `0..count`. The last
-/// ranges are clamped (and may be empty) when `count` does not divide evenly.
-fn chunk_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
-    let chunk = count.div_ceil(threads);
-    (0..threads)
-        .map(|tid| ((tid * chunk).min(count), ((tid + 1) * chunk).min(count)))
-        .filter(|&(lo, hi)| lo < hi)
-        .collect()
-}
+/// Sets per work-stealing block. Large enough that the atomic cursor bump
+/// (one `fetch_add` per block) is noise next to sampling a thousand sets,
+/// small enough that a straggler worker holds at most one block's worth of
+/// tail latency — the static even split this replaces could strand half a
+/// batch behind one slow core.
+const STEAL_BLOCK: usize = 1024;
 
 /// Sampling tables prepared once per `(graph, model)` pair: IC gathers
 /// in-slot-ordered integer acceptance thresholds plus per-node
@@ -779,6 +779,7 @@ fn chunk_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
 pub struct PreparedSampler {
     tables: Tables,
     thread_cap: usize,
+    thread_count: Option<usize>,
 }
 
 impl PreparedSampler {
@@ -788,6 +789,7 @@ impl PreparedSampler {
         PreparedSampler {
             tables: Tables::Ic { slots, skip_ln },
             thread_cap: usize::MAX,
+            thread_count: None,
         }
     }
 
@@ -802,6 +804,7 @@ impl PreparedSampler {
                 PreparedSampler {
                     tables: Tables::Lt { slots, pick_thr },
                     thread_cap: usize::MAX,
+                    thread_count: None,
                 }
             }
             DiffusionModel::Tic { tic, gamma } => {
@@ -818,6 +821,7 @@ impl PreparedSampler {
                         skip_ln,
                     },
                     thread_cap: usize::MAX,
+                    thread_count: None,
                 }
             }
         }
@@ -829,6 +833,17 @@ impl PreparedSampler {
     /// fan-out layers cannot multiply into oversubscription.
     pub fn set_thread_cap(&mut self, cap: usize) {
         self.thread_cap = cap.max(1);
+    }
+
+    /// Forces an **exact** worker count for [`Self::sample_batch`],
+    /// overriding both hardware detection and [`Self::set_thread_cap`].
+    /// Arenas are bit-identical at any setting (per-set seeds depend only on
+    /// the global set index), so this is purely a performance/measurement
+    /// knob — it lets thread-count sweeps exercise the sharded sampling path
+    /// even when `available_parallelism` reports fewer cores than the sweep
+    /// point asks for.
+    pub fn set_thread_count(&mut self, threads: usize) {
+        self.thread_count = Some(threads.max(1));
     }
 
     /// Resident bytes of the prepared tables (capacity-based). For TIC this
@@ -868,9 +883,13 @@ impl PreparedSampler {
     /// thread counts. `first_index` offsets `j`, letting incremental growth
     /// of a sample continue the same logical sequence.
     ///
-    /// Each worker thread samples its contiguous index range into a private
-    /// arena (no per-set heap allocation); the per-thread arenas are then
-    /// spliced in index order.
+    /// Workers pull fixed-size index blocks off a shared atomic cursor
+    /// (work-stealing — a straggler core strands at most one block, where the
+    /// old static split could strand `count / threads` sets), sampling each
+    /// block into a private arena. The blocks are then spliced in index
+    /// order: per-set seeds depend only on the global set index, never on
+    /// which worker sampled it, so the result is bit-identical at **any**
+    /// thread count, forced or detected.
     pub fn sample_batch(
         &self,
         g: &CsrGraph,
@@ -889,36 +908,64 @@ impl PreparedSampler {
             return (arena, vec![0u64; count]);
         }
         let base = mix64(seed);
-        let run = |lo: usize, hi: usize| sample_range(g, &self.tables, base, first_index, lo, hi);
-
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(count)
-            .min(32)
-            .min(self.thread_cap);
-        if threads == 1 {
-            return run(0, count);
+        let nblocks = count.div_ceil(STEAL_BLOCK);
+        let threads = match self.thread_count {
+            Some(t) => t,
+            None => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(self.thread_cap),
         }
-        let mut arena = RrArena::with_capacity(count, 2 * count);
-        let mut widths = Vec::with_capacity(count);
+        .min(nblocks)
+        .min(32);
+        if threads == 1 {
+            let mut ws = RrWorkspace::new(g.num_nodes());
+            return sample_range(g, &self.tables, base, first_index, 0, count, &mut ws);
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut parts: Vec<(usize, RrArena, Vec<u64>)> = Vec::with_capacity(nblocks);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = chunk_ranges(count, threads)
-                .into_iter()
-                .map(|(lo, hi)| {
-                    let run = &run;
-                    scope.spawn(move || run(lo, hi))
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (cursor, tables) = (&cursor, &self.tables);
+                    scope.spawn(move || {
+                        let mut ws = RrWorkspace::new(g.num_nodes());
+                        let mut local: Vec<(usize, RrArena, Vec<u64>)> = Vec::new();
+                        loop {
+                            let b = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if b >= nblocks {
+                                break;
+                            }
+                            let lo = b * STEAL_BLOCK;
+                            let hi = (lo + STEAL_BLOCK).min(count);
+                            let (arena, widths) =
+                                sample_range(g, tables, base, first_index, lo, hi, &mut ws);
+                            local.push((b, arena, widths));
+                        }
+                        local
+                    })
                 })
                 .collect();
-            // Splice the per-thread arenas in index order.
             for handle in handles {
                 // INVARIANT: a sampler-worker panic leaves the batch
                 // incomplete; propagating is the only sound response.
-                let (part, part_widths) = handle.join().expect("sampler worker panicked");
-                arena.append(&part);
-                widths.extend(part_widths);
+                parts.extend(handle.join().expect("sampler worker panicked"));
             }
         });
+        // Splice the blocks in index order — this is the determinism
+        // argument: any partition of 0..count, sorted back by block id,
+        // concatenates to the same arena the sequential path produces.
+        parts.sort_unstable_by_key(|p| p.0);
+        debug_assert!(
+            parts.len() == nblocks && parts.iter().enumerate().all(|(i, p)| p.0 == i),
+            "steal cursor must hand out each block exactly once"
+        );
+        let mut arena = RrArena::with_capacity(count, 2 * count);
+        let mut widths = Vec::with_capacity(count);
+        for (_, part, part_widths) in &parts {
+            arena.append(part);
+            widths.extend(part_widths);
+        }
         (arena, widths)
     }
 }
@@ -1034,19 +1081,38 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_cover_exactly_without_underflow() {
-        // Regression: `count = 5, threads = 4` used to produce the range
-        // (6, 5) for the last worker — an underflowing `hi - lo`.
-        for (count, threads) in [(5usize, 4usize), (1, 4), (7, 3), (32, 32), (100, 7)] {
-            let ranges = chunk_ranges(count, threads);
-            let mut expect = 0;
-            for &(lo, hi) in &ranges {
-                assert_eq!(lo, expect, "ranges must be contiguous");
-                assert!(lo < hi, "empty ranges must be filtered");
-                expect = hi;
-            }
-            assert_eq!(expect, count, "ranges must cover 0..{count}");
+    fn forced_thread_counts_are_bit_identical() {
+        // 2500 sets span three steal blocks (1024, 1024, 452 — an uneven
+        // tail): any forced worker count must pull blocks off the cursor and
+        // splice back to exactly the sequential arena. This exercises the
+        // work-stealing path even on single-core machines, where hardware
+        // detection alone would never leave the `threads == 1` fast path.
+        let g = chain();
+        let probs = AdProbs::from_vec(vec![0.5; 3]);
+        let mut s = PreparedSampler::new(&g, &probs);
+        s.set_thread_count(1);
+        let (want, want_w) = s.sample_batch(&g, 2500, 9, 0);
+        assert_eq!(want.len(), 2500);
+        for t in [2, 3, 5, 8] {
+            s.set_thread_count(t);
+            let (got, got_w) = s.sample_batch(&g, 2500, 9, 0);
+            assert_eq!(got, want, "arena differs at {t} forced workers");
+            assert_eq!(got_w, want_w, "widths differ at {t} forced workers");
         }
+    }
+
+    #[test]
+    fn small_batches_under_one_block_stay_sequential_and_identical() {
+        // Fewer sets than one steal block: worker count clamps to 1 and the
+        // result still matches any forced setting.
+        let g = chain();
+        let probs = AdProbs::from_vec(vec![0.5; 3]);
+        let mut s = PreparedSampler::new(&g, &probs);
+        s.set_thread_count(7);
+        let (a, wa) = s.sample_batch(&g, 100, 9, 0);
+        let (b, wb) = sample_rr_batch(&g, &probs, 100, 9, 0);
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
     }
 
     #[test]

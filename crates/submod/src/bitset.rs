@@ -81,6 +81,11 @@ impl BitSet {
     /// Removes `x`; returns true if it was present.
     #[inline]
     pub fn remove(&mut self, x: usize) -> bool {
+        debug_assert!(
+            x < self.universe,
+            "element {x} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[x / 64];
         let bit = 1u64 << (x % 64);
         if *w & bit != 0 {
@@ -130,6 +135,39 @@ impl BitSet {
         s.remove(x);
         s
     }
+}
+
+/// Word-parallel `dst |= src` over raw `u64` bitmap words. The slices must
+/// be the same length (same universe). This and the counting helpers below
+/// are the coverage layer's hot primitives: `RrCoverage::coverage_split`
+/// folds membership lists into word bitmaps and answers set-algebra queries
+/// 64 elements per operation instead of walking per-set id lists.
+#[inline]
+pub fn union_into(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len(), "bitmap universes differ");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Population count of `a ∧ b` over raw bitmap words (|A ∩ B|).
+#[inline]
+pub fn count_and(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "bitmap universes differ");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Population count of `a ∧ ¬b` over raw bitmap words (|A \ B|).
+#[inline]
+pub fn count_and_not(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "bitmap universes differ");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & !y).count_ones() as usize)
+        .sum()
 }
 
 impl FromIterator<usize> for BitSet {
@@ -190,5 +228,42 @@ mod tests {
         let f = BitSet::full(65);
         assert_eq!(f.len(), 65);
         assert!(f.contains(64));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside universe")]
+    fn remove_out_of_universe_asserts_informatively() {
+        // Regression: `remove` used to skip the universe check `insert` and
+        // `contains` carry — an in-padding out-of-universe element (here 15
+        // in a 10-universe single-word set) would silently clear a padding
+        // bit instead of tripping the assert.
+        let mut s = BitSet::from_iter(10, [1, 3]);
+        s.remove(15);
+    }
+
+    #[test]
+    fn word_helpers_match_set_algebra() {
+        // Cross 64-bit word boundaries so the helpers see multiple words.
+        let universe = 200;
+        let a: Vec<usize> = (0..universe).filter(|x| x % 3 == 0).collect();
+        let b: Vec<usize> = (0..universe).filter(|x| x % 5 == 0).collect();
+        let sa = BitSet::from_iter(universe, a.iter().copied());
+        let sb = BitSet::from_iter(universe, b.iter().copied());
+        let inter = a.iter().filter(|x| sb.contains(**x)).count();
+        let diff = a.iter().filter(|x| !sb.contains(**x)).count();
+        assert_eq!(count_and(&sa.words, &sb.words), inter);
+        assert_eq!(count_and_not(&sa.words, &sb.words), diff);
+        let mut dst = sa.words.clone();
+        union_into(&mut dst, &sb.words);
+        let both = BitSet::from_iter(universe, a.iter().chain(b.iter()).copied());
+        assert_eq!(dst, both.words);
+        // Empty operands are identities.
+        let empty = BitSet::new(universe);
+        assert_eq!(count_and(&sa.words, &empty.words), 0);
+        assert_eq!(count_and_not(&sa.words, &empty.words), sa.len());
+        let mut dst = sa.words.clone();
+        union_into(&mut dst, &empty.words);
+        assert_eq!(dst, sa.words);
     }
 }
