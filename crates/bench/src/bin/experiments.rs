@@ -9,6 +9,8 @@
 //!      quality   (fig2+fig3+fig4)
 //!      scalability (fig5+table3)
 //!      scale     (out-of-core snapshot tier; not part of `all`)
+//!      serve     (resident-engine replay driver; not part of `all`)
+//!      bench-merge (fold BENCH_*.json into one trajectory blob)
 //!      all
 //! ```
 //!
@@ -114,6 +116,10 @@ fn run(id: &str, opts: Opts) {
         // Not folded into `all`: the full tier is a multi-GB, half-hour-class
         // run; invoke it explicitly (CI smokes it with --quick).
         "scale" => rm_bench::scale::scale_tier(opts),
+        // Likewise explicit-only: the resident-engine replay (recorded runs
+        // land in BENCH_serve.json) and the benchmark-trajectory merge.
+        "serve" => rm_bench::serve::serve(opts),
+        "bench-merge" => rm_bench::merge::bench_merge(),
         "all" => {
             experiments::table1(opts);
             experiments::table2(opts);
@@ -144,6 +150,6 @@ fn usage() {
               [--selection-threads n] [--sampler-threads n]\n\
          ids: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 lt-quality tic-quality\n\
               ablation-lazy ablation-term ablation-singleton ablation-opim\n\
-              pool-ablation quality scalability scale all"
+              pool-ablation quality scalability scale serve bench-merge all"
     );
 }

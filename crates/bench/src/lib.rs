@@ -12,10 +12,17 @@
 //!   and per ablation, shared by the `experiments` binary.
 //! * [`scale`] — the out-of-core snapshot tier: a LiveJournal-class
 //!   build → text ingest → snapshot → reload → pooled-allocation run.
+//! * [`serve`] — the resident-engine replay driver: scripted
+//!   arrival/departure/graph-delta workload with per-event latency and the
+//!   warm-arrival vs cold-recompute A/B (`BENCH_serve.json`).
+//! * [`merge`] — folds the repo's recorded `BENCH_*.json` files into one
+//!   machine-readable trajectory blob.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod merge;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod setup;

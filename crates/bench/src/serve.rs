@@ -1,0 +1,272 @@
+//! `serve` — the resident-engine replay driver.
+//!
+//! Replays a scripted arrival/departure/graph-delta workload against one
+//! long-lived [`ResidentEngine`] and records per-event wall-clock latency
+//! and end-state revenue into `target/experiments/serve_summary.json`
+//! (recorded full-size runs are committed as `BENCH_serve.json` at the repo
+//! root). The headline A/B: admitting one advertiser into a warm engine
+//! versus the cold batch recompute of the same final tenant set.
+//!
+//! All wall clocks live here, in the driver — the engine itself records
+//! none (the rm-lint wallclock-in-results rule keeps it that way), which is
+//! also what makes its event log deterministic and replayable.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rm_core::{
+    Advertiser, AlgorithmKind, GraphDelta, IncentiveModel, ResidentEngine, RmInstance, ServeEvent,
+    SingletonMethod, TiEngine,
+};
+use rm_diffusion::{TicModel, TopicDistribution};
+use rm_graph::{builder, NodeId, SyntheticDataset};
+
+use crate::experiments::Opts;
+use crate::report::{fmt, out_dir, Table};
+use crate::setup::scalability_config;
+
+/// One scripted event with its measured latency.
+struct EventRow {
+    label: &'static str,
+    wall_s: f64,
+    ev: ServeEvent,
+}
+
+/// The scalability-protocol instance over an explicit edge list: WC model,
+/// CPE 1, α = 0.2 linear incentives on out-degree proxies — the same build
+/// as [`crate::setup::scalability_instance`], except the graph comes from
+/// `edges` so the pre- and post-delta instances share one construction path
+/// (identical in-slot orderings for unchanged nodes, which is what lets the
+/// engine keep non-invalidated RR sets across the delta).
+fn edges_instance(
+    n: usize,
+    edges: &[(NodeId, NodeId)],
+    h: usize,
+    budget: f64,
+    seed: u64,
+) -> RmInstance {
+    let graph = Arc::new(builder::graph_from_edges(n, edges));
+    let tic = TicModel::weighted_cascade(&graph);
+    let ads = (0..h)
+        .map(|_| Advertiser::new(1.0, budget, TopicDistribution::uniform(1)))
+        .collect();
+    RmInstance::build(
+        graph,
+        &tic,
+        ads,
+        IncentiveModel::Linear { alpha: 0.2 },
+        SingletonMethod::OutDegree,
+        seed ^ 0x5CA1E,
+    )
+}
+
+/// Runs the serve replay. `--quick` shrinks the instance to a CI-smoke
+/// size; `--scale` sizes the full tier like the other scalability
+/// experiments.
+pub fn serve(opts: Opts) {
+    let ds = SyntheticDataset::DblpLike;
+    let s = if opts.quick {
+        opts.scale.min(0.02)
+    } else {
+        opts.scale
+    };
+    let h = if opts.quick { 3 } else { 6 };
+    let removed_edges = if opts.quick { 5 } else { 50 };
+    let budget = 10_000.0 * s;
+    let cfg = opts.engine_cfg(scalability_config(opts.seed));
+
+    // Pre- and post-delta instances over one edge list (the delta removes
+    // the trailing edges), both built through the same path.
+    let edges: Vec<(NodeId, NodeId)> = ds
+        .generate(s, opts.seed)
+        .edges()
+        .map(|(_, u, v)| (u, v))
+        .collect();
+    let n = {
+        let max = edges.iter().map(|&(u, v)| u.max(v)).max().unwrap_or(0);
+        max as usize + 1
+    };
+    let (kept, removed) = edges.split_at(edges.len() - removed_edges);
+    let inst = Arc::new(edges_instance(n, &edges, h, budget, opts.seed));
+    let new_inst = Arc::new(edges_instance(n, kept, h, budget, opts.seed));
+    let delta = GraphDelta {
+        inserts: Vec::new(),
+        removes: removed.to_vec(),
+    };
+    println!(
+        "[serve] {ds} n={} m={} h={h} budget={budget:.1} (scale {s}, seed {})",
+        inst.num_nodes(),
+        inst.graph.num_edges(),
+        opts.seed
+    );
+
+    let mut rows: Vec<EventRow> = Vec::new();
+    let mut record = |label: &'static str, t0: Instant, ev: ServeEvent| {
+        let wall_s = t0.elapsed().as_secs_f64();
+        println!(
+            "[serve] {label}: {wall_s:.3}s rounds={} revenue={:.1} seeds={} invalidated={}",
+            ev.rounds, ev.revenue, ev.seeds_total, ev.invalidated_sets
+        );
+        rows.push(EventRow { label, wall_s, ev });
+    };
+
+    let mut eng = ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, cfg)
+        .expect("scalability config is valid");
+
+    // 1. Bulk arrival of all but the last advertiser.
+    let bulk: Vec<usize> = (0..h - 1).collect();
+    let t0 = Instant::now();
+    let ev = eng.add_advertisers(&bulk).expect("fresh ads admit");
+    record("arrival-bulk", t0, ev);
+
+    // 2. The A/B's warm arm: one incremental arrival into the warm engine.
+    let t0 = Instant::now();
+    let ev = eng.add_advertiser(h - 1).expect("fresh ad admits");
+    let arrival_s = t0.elapsed().as_secs_f64();
+    record("arrival-incremental", t0, ev);
+
+    // 3. The A/B's cold arm: batch recompute of the same final tenant set.
+    let t0 = Instant::now();
+    let (_, cold_stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, cfg).run();
+    let cold_s = t0.elapsed().as_secs_f64();
+    let speedup = cold_s / arrival_s.max(1e-9);
+    println!("[serve] cold-recompute: {cold_s:.3}s — arrival speedup {speedup:.1}x");
+
+    // 4. Departure frees seeds and pool tenancy.
+    let t0 = Instant::now();
+    let ev = eng.remove_advertiser(0).expect("ad 0 is active");
+    record("departure", t0, ev);
+
+    // 5. Graph delta: invalidate-and-resample only the touched sets.
+    let t0 = Instant::now();
+    let ev = eng
+        .apply_graph_delta(Arc::clone(&new_inst), &delta)
+        .expect("delta instance matches");
+    let delta_ev = ev.clone();
+    record("graph-delta", t0, ev);
+
+    // 6. Re-arrival on the repaired engine.
+    let t0 = Instant::now();
+    let ev = eng.add_advertiser(0).expect("departed ad re-admits");
+    record("arrival-readmit", t0, ev);
+
+    let (alloc, stats) = eng.finish();
+    let theta_total = stats.total_theta() as u64;
+    let invalidated_fraction = delta_ev.invalidated_sets as f64 / theta_total.max(1) as f64;
+
+    // End-state cross-check: a cold run over the final tenant set on the
+    // post-delta graph (the resident engine keeps pre-delta seeds and θ, so
+    // this is an ε-neighborhood, not an identity).
+    let (_, cold_new) = TiEngine::new(&new_inst, AlgorithmKind::TiCsrm, cfg).run();
+    let rel_end = (stats.total_revenue() - cold_new.total_revenue()).abs()
+        / cold_new.total_revenue().max(1e-9);
+
+    let mut t = Table::new(
+        "serve_replay",
+        &[
+            "event",
+            "wall_s",
+            "rounds",
+            "revenue",
+            "seeds",
+            "invalidated",
+            "resampled",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.label.into(),
+            fmt(r.wall_s),
+            r.ev.rounds.to_string(),
+            fmt(r.ev.revenue),
+            r.ev.seeds_total.to_string(),
+            r.ev.invalidated_sets.to_string(),
+            r.ev.resampled_sets.to_string(),
+        ]);
+    }
+    t.push(vec![
+        "cold-recompute".into(),
+        fmt(cold_s),
+        cold_stats.rounds.to_string(),
+        fmt(cold_stats.total_revenue()),
+        cold_stats.total_seeds().to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.emit();
+    println!(
+        "[serve] end state: revenue={:.1} seeds={} vs cold-on-new-graph {:.1} (rel {:.3}); \
+         delta invalidated {}/{theta_total} sets ({:.4})",
+        stats.total_revenue(),
+        alloc.num_seeds(),
+        cold_new.total_revenue(),
+        rel_end,
+        delta_ev.invalidated_sets,
+        invalidated_fraction,
+    );
+
+    // Machine-readable summary (hand-rolled JSON; the workspace has no
+    // serialization crates).
+    let events_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"op\": \"{}\", \"wall_s\": {:.4}, \"rounds\": {}, \"revenue\": {:.2}, \
+                 \"seeds_total\": {}, \"invalidated_sets\": {}, \"resampled_sets\": {} }}",
+                r.label,
+                r.wall_s,
+                r.ev.rounds,
+                r.ev.revenue,
+                r.ev.seeds_total,
+                r.ev.invalidated_sets,
+                r.ev.resampled_sets,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"tier\": \"{tier}\",\n",
+            "  \"workload\": {{ \"dataset\": \"{ds}\", \"n\": {n}, \"m\": {m}, \"h\": {h}, ",
+            "\"budget\": {budget:.1}, \"scale\": {s}, \"seed\": {seed}, \"removed_edges\": {rme} }},\n",
+            "  \"events\": [\n{events}\n  ],\n",
+            "  \"arrival_ab\": {{ \"incremental_arrival_s\": {ias:.4}, \"cold_recompute_s\": {cs:.4}, ",
+            "\"speedup\": {spd:.1} }},\n",
+            "  \"delta\": {{ \"invalidated_sets\": {inv}, \"resampled_sets\": {res}, ",
+            "\"theta_total\": {tt}, \"invalidated_fraction\": {frac:.5} }},\n",
+            "  \"end_state\": {{ \"revenue\": {rev:.2}, \"seeds\": {seeds}, ",
+            "\"cold_revenue_on_new_graph\": {crev:.2}, \"rel_diff\": {rel:.4}, ",
+            "\"rr_sets_sampled\": {sets}, \"rounds_total\": {rounds} }}\n",
+            "}}\n"
+        ),
+        tier = if opts.quick { "quick" } else { "full" },
+        ds = ds,
+        n = inst.num_nodes(),
+        m = inst.graph.num_edges(),
+        h = h,
+        budget = budget,
+        s = s,
+        seed = opts.seed,
+        rme = removed_edges,
+        events = events_json,
+        ias = arrival_s,
+        cs = cold_s,
+        spd = speedup,
+        inv = delta_ev.invalidated_sets,
+        res = delta_ev.resampled_sets,
+        tt = theta_total,
+        frac = invalidated_fraction,
+        rev = stats.total_revenue(),
+        seeds = alloc.num_seeds(),
+        crev = cold_new.total_revenue(),
+        rel = rel_end,
+        sets = stats.rr_sets_sampled,
+        rounds = stats.rounds,
+    );
+    let json_path: PathBuf = out_dir().join("serve_summary.json");
+    std::fs::write(&json_path, &json).expect("write serve summary");
+    println!("[json] {}", json_path.display());
+    print!("{json}");
+}

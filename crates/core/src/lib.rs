@@ -40,4 +40,7 @@ pub use incentives::{IncentiveModel, IncentiveSchedule, SingletonMethod};
 pub use instance::RmInstance;
 pub use metrics::RunStats;
 pub use oracle::{ExactOracle, McOracle, SpreadOracle};
-pub use scalable::{AlgorithmKind, SamplingStrategy, ScalableConfig, TiEngine, Window};
+pub use scalable::{
+    AlgorithmKind, GraphDelta, ResidentEngine, ResidentError, SamplingStrategy, ScalableConfig,
+    ScalableConfigError, ServeEvent, ServeOp, TiEngine, Window,
+};

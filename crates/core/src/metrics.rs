@@ -59,6 +59,13 @@ pub struct RunStats {
     pub pooled_ads: usize,
     /// Pooled ads reading the shared sets through importance weights.
     pub reweighted_ads: usize,
+    /// RR sets invalidated by `ResidentEngine::apply_graph_delta` calls —
+    /// sets whose traces touched a changed edge target. 0 for batch runs.
+    pub delta_invalidated_sets: u64,
+    /// RR sets resampled to repair those invalidations (equal to
+    /// `delta_invalidated_sets` today; kept separate so future lazier
+    /// repair policies stay observable). 0 for batch runs.
+    pub delta_resampled_sets: u64,
 }
 
 impl RunStats {

@@ -1,7 +1,7 @@
 //! Per-advertiser state of the scalable engine.
 
 use rm_graph::NodeId;
-use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule};
+use rm_rrsets::{KptEstimator, LazyGreedyHeap, PreparedSampler, RrArena, RrCoverage, StoppingRule};
 
 /// One round's candidate proposal for an ad — the per-round scratch split
 /// out of the long-lived [`AdState`] so selection workers only exchange
@@ -91,6 +91,17 @@ pub(crate) struct AdState {
     pub bound_checks: u64,
     /// Online-bounds state; `None` under the fixed-θ schedule.
     pub opim: Option<OpimAdState>,
+    /// The ad's private selection-stream RR sets, retained verbatim when
+    /// the engine runs resident (`EngineCtx::retain_sets`): a graph delta
+    /// must locate and resample exactly the sets whose traces touch changed
+    /// edges, and the coverage index alone cannot be enumerated. Empty for
+    /// batch runs (the one-shot path never repairs) and for pooled ads
+    /// (the shared pool arena is the retained store). Index `i` holds the
+    /// set drawn at global sample index `i` of [`AdState::sample_seed`]'s
+    /// stream, so per-set resampling replays the exact per-set RNG stream.
+    pub sel_sets: RrArena,
+    /// Same retention for the private validation stream (OnlineBounds).
+    pub val_sets: RrArena,
 }
 
 /// Extra per-ad state of the online (OPIM-style) sampling mode.

@@ -142,6 +142,56 @@ impl Default for ScalableConfig {
     }
 }
 
+/// A rejected [`ScalableConfig`], caught at construction instead of
+/// surfacing as downstream misbehavior (a zero thread cap used to reach the
+/// fan-out arithmetic, where `threads.min(jobs).max(1)` silently promoted it
+/// to 1 in some paths and div-by-zero chunking loomed in others).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScalableConfigError {
+    /// `sampler_threads == 0`: the sampler fan-out needs at least one
+    /// worker (`usize::MAX` means "hardware parallelism", not unbounded).
+    ZeroSamplerThreads,
+    /// `selection_threads == 0`: the per-round selection fan-out needs at
+    /// least one worker.
+    ZeroSelectionThreads,
+    /// `epsilon` outside `(0, 1)`: Eq. 8's sample size is undefined.
+    EpsilonOutOfRange(f64),
+    /// `ell <= 0`: the confidence exponent must be positive.
+    NonPositiveEll(f64),
+    /// `window == Size(0)`: a zero-width inspection window can never
+    /// propose a candidate.
+    ZeroWindow,
+    /// `max_sets_per_ad == 0`: every ad would be capped before its pilot.
+    ZeroSampleCap,
+}
+
+impl std::fmt::Display for ScalableConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalableConfigError::ZeroSamplerThreads => {
+                write!(f, "sampler_threads must be >= 1 (usize::MAX = hardware)")
+            }
+            ScalableConfigError::ZeroSelectionThreads => {
+                write!(f, "selection_threads must be >= 1 (usize::MAX = hardware)")
+            }
+            ScalableConfigError::EpsilonOutOfRange(e) => {
+                write!(f, "epsilon must lie in (0, 1), got {e}")
+            }
+            ScalableConfigError::NonPositiveEll(l) => {
+                write!(f, "ell must be positive, got {l}")
+            }
+            ScalableConfigError::ZeroWindow => {
+                write!(f, "window size must be >= 1 (or Window::Full)")
+            }
+            ScalableConfigError::ZeroSampleCap => {
+                write!(f, "max_sets_per_ad must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalableConfigError {}
+
 impl ScalableConfig {
     /// The paper's scalability-experiment setting (ε = 0.3, w = 5000).
     pub fn scalability() -> Self {
@@ -150,6 +200,31 @@ impl ScalableConfig {
             window: Window::Size(5000),
             ..Default::default()
         }
+    }
+
+    /// Rejects configurations the engine cannot honor. Run by
+    /// [`super::TiEngine::try_new`] and [`super::ResidentEngine::new`], so
+    /// a bad config fails loudly at construction.
+    pub fn validate(&self) -> Result<(), ScalableConfigError> {
+        if self.sampler_threads == 0 {
+            return Err(ScalableConfigError::ZeroSamplerThreads);
+        }
+        if self.selection_threads == 0 {
+            return Err(ScalableConfigError::ZeroSelectionThreads);
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(ScalableConfigError::EpsilonOutOfRange(self.epsilon));
+        }
+        if self.ell <= 0.0 || self.ell.is_nan() {
+            return Err(ScalableConfigError::NonPositiveEll(self.ell));
+        }
+        if self.window == Window::Size(0) {
+            return Err(ScalableConfigError::ZeroWindow);
+        }
+        if self.max_sets_per_ad == 0 {
+            return Err(ScalableConfigError::ZeroSampleCap);
+        }
+        Ok(())
     }
 }
 
@@ -181,5 +256,74 @@ mod tests {
         let s = ScalableConfig::scalability();
         assert_eq!(s.epsilon, 0.3);
         assert_eq!(s.window, Window::Size(5000));
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_scalability() {
+        assert_eq!(ScalableConfig::default().validate(), Ok(()));
+        assert_eq!(ScalableConfig::scalability().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_thread_counts_with_typed_errors() {
+        let cfg = ScalableConfig {
+            sampler_threads: 0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(ScalableConfigError::ZeroSamplerThreads));
+        let cfg = ScalableConfig {
+            selection_threads: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ScalableConfigError::ZeroSelectionThreads)
+        );
+        // The errors render a usable message and implement Error.
+        let e: Box<dyn std::error::Error> = Box::new(ScalableConfigError::ZeroSamplerThreads);
+        assert!(e.to_string().contains("sampler_threads"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_estimation_parameters() {
+        for (cfg, want) in [
+            (
+                ScalableConfig {
+                    epsilon: 0.0,
+                    ..Default::default()
+                },
+                ScalableConfigError::EpsilonOutOfRange(0.0),
+            ),
+            (
+                ScalableConfig {
+                    epsilon: 1.5,
+                    ..Default::default()
+                },
+                ScalableConfigError::EpsilonOutOfRange(1.5),
+            ),
+            (
+                ScalableConfig {
+                    ell: 0.0,
+                    ..Default::default()
+                },
+                ScalableConfigError::NonPositiveEll(0.0),
+            ),
+            (
+                ScalableConfig {
+                    window: Window::Size(0),
+                    ..Default::default()
+                },
+                ScalableConfigError::ZeroWindow,
+            ),
+            (
+                ScalableConfig {
+                    max_sets_per_ad: 0,
+                    ..Default::default()
+                },
+                ScalableConfigError::ZeroSampleCap,
+            ),
+        ] {
+            assert_eq!(cfg.validate(), Err(want));
+        }
     }
 }

@@ -1,5 +1,6 @@
-//! The scalable greedy engine (Algorithm 2) shared by TI-CARM, TI-CSRM and
-//! the PageRank baselines.
+//! The scalable greedy round core (Algorithm 2) shared by TI-CARM, TI-CSRM
+//! and the PageRank baselines — plus [`TiEngine`], the one-shot batch entry
+//! point, now a thin wrapper over the resident engine (`resident.rs`).
 //!
 //! The round loop runs in three phases (see DESIGN.md → "Parallel selection
 //! rounds"):
@@ -19,6 +20,12 @@
 //!    coverage update, `update_latent`/`certify_or_double` resampling) and
 //!    the window restores of every contended ad are batched and run as
 //!    disjoint per-ad jobs on the same worker pool.
+//!
+//! The sampling/θ lifecycle (pilot estimation, Eq. 8/OPIM growth, Eq. 10
+//! latent updates) lives in `epoch.rs`; both halves are methods on the
+//! shared read-only [`EngineCtx`]. Ads live in `Option` slots indexed by
+//! stable ad id — `None` marks an advertiser not currently admitted (the
+//! resident engine's departures) and every loop below skips it.
 
 // INVARIANT(indexing): all computed indices in this file are bounded by
 // construction — node ids come from the owning CsrGraph (< num_nodes) and
@@ -30,27 +37,23 @@
 use std::time::Instant;
 
 use rm_graph::NodeId;
-use rm_rrsets::{
-    opim, stream_seed, KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, SharedRrPool,
-    StoppingRule, TenantMode, TimConfig,
-};
+use rm_rrsets::{LazyGreedyHeap, RrCoverage, SharedRrPool};
 
 use crate::allocation::SeedAllocation;
 use crate::instance::RmInstance;
 use crate::metrics::RunStats;
 
-use super::ad_state::{AdState, Candidate, OpimAdState};
-use super::config::{AlgorithmKind, SamplingStrategy, ScalableConfig, Window};
+use super::ad_state::{AdState, Candidate};
+use super::config::{AlgorithmKind, ScalableConfig, ScalableConfigError, Window};
+use super::epoch::{EngineCtx, BUDGET_EPS, COST_FLOOR};
+use super::resident::ResidentEngine;
 
-/// Floor on incentive costs when forming coverage-to-cost ratios, so
-/// zero-incentive nodes (possible under sublinear pricing) do not produce
-/// NaN/∞ keys.
-const COST_FLOOR: f64 = 1e-9;
-/// Budget-feasibility slack absorbing floating-point accumulation.
-const BUDGET_EPS: f64 = 1e-9;
-
-/// The scalable algorithm engine. Construct once per run; [`TiEngine::run`]
-/// is deterministic in `config.seed`.
+/// The one-shot batch engine. Construct once per run; [`TiEngine::run`] is
+/// deterministic in `config.seed`. Internally it builds a
+/// [`ResidentEngine`], admits every advertiser at once and runs to
+/// convergence — per-ad RNG streams are pure functions of
+/// `(config.seed, ad id)`, so the wrapper is bit-identical to the former
+/// monolithic batch loop.
 pub struct TiEngine<'a> {
     inst: &'a RmInstance,
     kind: AlgorithmKind,
@@ -59,184 +62,58 @@ pub struct TiEngine<'a> {
 
 impl<'a> TiEngine<'a> {
     /// Binds an algorithm to an instance.
+    ///
+    /// # Panics
+    /// On an invalid configuration (see [`ScalableConfig::validate`]); use
+    /// [`TiEngine::try_new`] to handle the error.
     pub fn new(inst: &'a RmInstance, kind: AlgorithmKind, cfg: ScalableConfig) -> Self {
-        TiEngine { inst, kind, cfg }
+        // INVARIANT: validated — the expect is the documented panic path.
+        Self::try_new(inst, kind, cfg).expect("invalid ScalableConfig")
+    }
+
+    /// Binds an algorithm to an instance, rejecting invalid configurations
+    /// with a typed error.
+    pub fn try_new(
+        inst: &'a RmInstance,
+        kind: AlgorithmKind,
+        cfg: ScalableConfig,
+    ) -> Result<Self, ScalableConfigError> {
+        cfg.validate()?;
+        Ok(TiEngine { inst, kind, cfg })
     }
 
     /// Runs the algorithm to termination, returning the allocation and run
     /// statistics.
     pub fn run(&self) -> (SeedAllocation, RunStats) {
-        // Telemetry only (RunStats::wall_ms). rm-lint: allow(wallclock-in-results)
+        // Telemetry only (RunStats::elapsed). rm-lint: allow(wallclock-in-results)
         let start = Instant::now();
-        let n = self.inst.num_nodes();
-        let h = self.inst.num_ads();
-        let tim = TimConfig {
-            epsilon: self.cfg.epsilon,
-            ell: self.cfg.ell,
-            max_sets_per_ad: self.cfg.max_sets_per_ad,
-        };
-
-        let mut stats = RunStats::default();
-        let mut assigned = vec![false; n];
-        // Opt-in shared RR pool: one reference arena per model-distinct ad
-        // group; `None` (the default) keeps every stream private.
-        let rr_pool = self.build_rr_pool();
-        let mut ads = self.init_ads(&tim, rr_pool.as_ref());
-        let mut rr_cursor = 0usize; // PageRank-RR advertiser rotation
-
-        // Resolved once: the round loop must not re-query hardware
-        // parallelism (or re-decide the fan-out policy) thousands of times.
-        let pool = self.selection_policy();
-
-        loop {
-            // Lines 6–8: one candidate per active ad. Only ads whose cached
-            // proposal was invalidated re-run selection, in parallel against
-            // the immutable `assigned` snapshot.
-            self.refresh_candidates(&mut ads, &assigned, &pool, &mut stats);
-            if ads.iter().all(|st| st.candidate.is_none()) {
-                break;
-            }
-
-            // Line 9: the sequential arbiter — global feasible argmax (or
-            // round-robin for PR-RR), in the sequential engine's exact
-            // iteration and tie-breaking order.
-            let winner = self.choose_winner(&ads, rr_cursor, n);
-
-            match winner {
-                Some(i) => {
-                    if matches!(self.kind, AlgorithmKind::PageRankRr) {
-                        rr_cursor = (i + 1) % h;
-                    }
-                    let v = ads[i]
-                        .candidate
-                        .as_ref()
-                        // INVARIANT: choose_winner only returns ads whose
-                        // candidate is Some (it scores that candidate).
-                        .expect("arbiter winners hold a candidate")
-                        .v;
-                    assigned[v as usize] = true;
-                    stats.rounds += 1;
-                    // Commit + fixups (lines 10–14 and 17–22), batched
-                    // across the affected ads.
-                    self.commit_round(
-                        &mut ads,
-                        i,
-                        v,
-                        &assigned,
-                        &tim,
-                        &pool,
-                        rr_pool.as_ref(),
-                        &mut stats,
-                    );
-                }
-                None => {
-                    // No feasible candidate anywhere this round.
-                    if self.cfg.strict_termination {
-                        // Alg. 2 line 16: all advertisers exhausted — return.
-                        break;
-                    }
-                    // Ablation semantics (Alg. 1): permanently discard the
-                    // infeasible candidates and keep going.
-                    self.discard_candidates(&mut ads);
-                }
-            }
-        }
-
-        let mut alloc = SeedAllocation::empty(h);
-        stats.seeds_per_ad = vec![0; h];
-        stats.theta_per_ad = vec![0; h];
-        stats.latent_size_per_ad = vec![0; h];
-        stats.revenue_per_ad = vec![0.0; h];
-        stats.seeding_cost_per_ad = vec![0.0; h];
-        // TIC samplers share one per-topic table across all h ads; count it
-        // once (the max, in case some ads carry no table) rather than per ad.
-        let mut shared_table_bytes = 0usize;
-        for (i, mut st) in ads.into_iter().enumerate() {
-            stats.seeds_per_ad[i] = st.seeds.len();
-            stats.theta_per_ad[i] = st.theta;
-            stats.latent_size_per_ad[i] = st.s_latent;
-            stats.revenue_per_ad[i] = st.pi(self.inst.ads[i].cpe, n);
-            stats.seeding_cost_per_ad[i] = st.cost_total;
-            stats.rr_memory_bytes += terminal_ad_bytes(&mut st);
-            shared_table_bytes = shared_table_bytes.max(st.sampler.shared_table_bytes());
-            stats.rr_sets_sampled += st.samples;
-            stats.bound_checks += st.bound_checks;
-            stats.sample_capped |= st.capped;
-            alloc.seeds[i] = st.seeds;
-        }
-        stats.rr_memory_bytes += shared_table_bytes;
-        // Pool arenas, weights and tables are cross-ad state: counted once
-        // here, never in the per-ad pass above (pooled ads' `samples`
-        // likewise exclude the shared sets, so each set is counted exactly
-        // once no matter how many tenants read it).
-        if let Some(p) = &rr_pool {
-            stats.rr_memory_bytes += p.memory_bytes();
-            stats.rr_sets_sampled += p.sets_sampled();
-            stats.pool_groups = p.num_groups();
-            stats.pooled_ads = p.pooled_ads();
-            stats.reweighted_ads = p.reweighted_ads();
-        }
+        let mut eng = ResidentEngine::for_batch(self.inst, self.kind, self.cfg);
+        let ids: Vec<usize> = (0..self.inst.num_ads()).collect();
+        // INVARIANT: fresh engine, in-range ids — admission cannot fail.
+        eng.add_advertisers(&ids)
+            .expect("batch admission of fresh ads cannot fail");
+        let (alloc, mut stats) = eng.finish();
         stats.elapsed = start.elapsed();
         (alloc, stats)
     }
+}
 
-    /// Builds the shared cross-advertiser RR pool when
-    /// [`ScalableConfig::rr_sharing`] is on: ads grouped by diffusion model
-    /// in ad-index order (`rm_rrsets::pool`). `None` keeps every stream
-    /// private — bit-identical to builds predating the pool.
-    fn build_rr_pool(&self) -> Option<SharedRrPool> {
-        if !self.cfg.rr_sharing {
-            return None;
-        }
-        let models: Vec<_> = (0..self.inst.num_ads())
-            .map(|j| self.inst.model(j))
-            .collect();
-        Some(SharedRrPool::build(
-            &self.inst.graph,
-            &models,
-            self.cfg.seed,
-            self.cfg.sampler_threads,
-        ))
-    }
-
-    /// Adds the shared pool's sets `lo..hi` to the ad's selection index —
-    /// weighted ingestion for reweighted tenants, plain counts otherwise.
-    /// Returns `false` when the ad is not pooled (no pool, or private
-    /// fallback): the caller must sample privately.
-    fn pooled_add_range(
-        &self,
-        st: &mut AdState,
-        rr_pool: Option<&SharedRrPool>,
-        lo: usize,
-        hi: usize,
-    ) -> bool {
-        let Some(p) = rr_pool else { return false };
-        let AdState {
-            idx, cov, is_seed, ..
-        } = st;
-        p.with_range(&self.inst.graph, *idx, lo, hi, |arena, lo, hi, w| {
-            match w {
-                Some(w) => cov.add_range_weighted(arena, lo, hi, is_seed, w),
-                None => cov.add_range(arena, lo, hi, is_seed),
-            };
-        })
-        .is_some()
-    }
-
+impl EngineCtx<'_> {
     /// Phase 1 of a round: (re-)evaluates the candidate of every live ad
     /// that lacks one — the ads whose proposal the previous commit
     /// invalidated, plus everyone on the first round — fanned out across
     /// scoped workers against the immutable `assigned` snapshot. An ad with
     /// no remaining candidate is retired exactly as in the sequential loop.
-    fn refresh_candidates(
+    pub(crate) fn refresh_candidates(
         &self,
-        ads: &mut [AdState],
+        ads: &mut [Option<AdState>],
         assigned: &[bool],
         pool: &SelectionPolicy,
         stats: &mut RunStats,
     ) {
         let jobs: Vec<&mut AdState> = ads
             .iter_mut()
+            .flatten()
             .filter(|st| !st.exhausted && st.candidate.is_none())
             .collect();
         let threads = pool.threads_for(jobs.len(), self.selection_job_cost());
@@ -258,14 +135,13 @@ impl<'a> TiEngine<'a> {
     /// window so the refresh next round re-pops from an untouched heap.
     /// Unaffected ads are not touched at all — their cached proposal, and
     /// the heap entries it holds popped, stay exactly as they were.
-    #[allow(clippy::too_many_arguments)]
-    fn commit_round(
+    #[allow(clippy::too_many_arguments)] // round state is threaded, not owned, post-split
+    pub(crate) fn commit_round(
         &self,
-        ads: &mut [AdState],
+        ads: &mut [Option<AdState>],
         winner: usize,
         v: NodeId,
         assigned: &[bool],
-        tim: &TimConfig,
         pool: &SelectionPolicy,
         rr_pool: Option<&SharedRrPool>,
         stats: &mut RunStats,
@@ -274,7 +150,7 @@ impl<'a> TiEngine<'a> {
         let mut invalidated = 0u64;
         let mut fixup_cost = 1usize;
         let mut jobs: Vec<&mut AdState> = Vec::new();
-        for st in ads.iter_mut() {
+        for st in ads.iter_mut().flatten() {
             if st.idx == winner {
                 jobs.push(st);
                 continue;
@@ -305,7 +181,7 @@ impl<'a> TiEngine<'a> {
             // candidate this round (the winner and contended losers).
             let cand = st.candidate.take().expect("fixup jobs hold a candidate");
             if st.idx == winner {
-                self.commit_winner(st, &cand, assigned, tim, rr_pool, scratch);
+                self.commit_winner(st, &cand, assigned, rr_pool, scratch);
             } else {
                 self.restore(st, &cand, false);
             }
@@ -318,7 +194,6 @@ impl<'a> TiEngine<'a> {
         st: &mut AdState,
         cand: &Candidate,
         assigned: &[bool],
-        tim: &TimConfig,
         rr_pool: Option<&SharedRrPool>,
         stats: &mut RunStats,
     ) {
@@ -333,7 +208,7 @@ impl<'a> TiEngine<'a> {
         if let Some(op) = st.opim.as_mut() {
             op.val_cov.cover_with(v);
         }
-        st.cost_total += self.inst.incentives[st.idx].cost(v);
+        st.cost_total += self.inst().incentives[st.idx].cost(v);
         if matches!(
             self.kind,
             AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
@@ -342,14 +217,14 @@ impl<'a> TiEngine<'a> {
         }
         // Lines 17–22: latent seed-set-size update + sample growth.
         if st.seeds.len() >= st.s_latent {
-            self.update_latent(st, assigned, tim, rr_pool, stats);
+            self.update_latent(st, assigned, rr_pool, stats);
         }
     }
 
     /// Alg. 1 semantics for a round with no feasible winner: permanently
     /// discard every ad's current candidate and keep going.
-    fn discard_candidates(&self, ads: &mut [AdState]) {
-        for st in ads.iter_mut() {
+    pub(crate) fn discard_candidates(&self, ads: &mut [Option<AdState>]) {
+        for st in ads.iter_mut().flatten() {
             let Some(cand) = st.candidate.take() else {
                 continue;
             };
@@ -396,7 +271,7 @@ impl<'a> TiEngine<'a> {
     /// handful of heap pops costs more than the pops. An explicit thread
     /// count is honored verbatim (even past the core count, ungated), so
     /// tests exercise the parallel path deterministically on any machine.
-    fn selection_policy(&self) -> SelectionPolicy {
+    pub(crate) fn selection_policy(&self) -> SelectionPolicy {
         if self.cfg.selection_threads == usize::MAX {
             SelectionPolicy {
                 cap: std::thread::available_parallelism()
@@ -418,7 +293,7 @@ impl<'a> TiEngine<'a> {
     /// paths touch a handful of entries.
     fn selection_job_cost(&self) -> usize {
         if !self.cfg.lazy {
-            return self.inst.num_nodes();
+            return self.inst().num_nodes();
         }
         match self.kind {
             AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => 1,
@@ -491,343 +366,18 @@ impl<'a> TiEngine<'a> {
         });
     }
 
-    /// Lines 1–4: pilot KPT estimation, initial θ and sample, heaps/orders.
-    ///
-    /// Each ad's pilot + initial sample is independent of every other ad's,
-    /// so the initializations fan out across scoped worker threads pulling
-    /// ad indices from a shared counter. The worker count is bounded by the
-    /// core count — not the ad count — so a wide campaign cannot
-    /// oversubscribe the machine or hold every ad's transient sampling
-    /// tables live at once. Results are keyed by ad index, so the output
-    /// (and every downstream tie-break) is deterministic regardless of
-    /// scheduling.
-    fn init_ads(&self, tim: &TimConfig, rr_pool: Option<&SharedRrPool>) -> Vec<AdState> {
-        let h = self.inst.num_ads();
-        let needs_pagerank = matches!(
-            self.kind,
-            AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr
-        );
-        let mut pr_orders: Vec<Vec<NodeId>> = if needs_pagerank {
-            crate::baselines::pagerank_orders(self.inst)
-        } else {
-            Vec::new()
-        };
-        pr_orders.resize(h, Vec::new());
-
-        let cores = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let workers = cores.min(h).max(1);
-        // Split the thread budget between the two fan-out layers: `workers`
-        // ad initializations in flight, each allowed `cores / workers`
-        // sampler threads, so the product stays at the core count.
-        let inner_threads = (cores / workers).max(1).min(self.cfg.sampler_threads);
-        if workers == 1 {
-            return pr_orders
-                .drain(..)
-                .enumerate()
-                .map(|(j, pr_order)| self.init_ad(j, tim, pr_order, inner_threads, rr_pool))
-                .collect();
-        }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<AdState>>> =
-            (0..h).map(|_| std::sync::Mutex::new(None)).collect();
-        let pr_orders = &pr_orders;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    let slots = &slots;
-                    scope.spawn(move || loop {
-                        let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if j >= h {
-                            break;
-                        }
-                        let st = self.init_ad(j, tim, pr_orders[j].clone(), inner_threads, rr_pool);
-                        // INVARIANT: poisoning implies a sibling panicked;
-                        // propagate rather than run with partial ad state.
-                        *slots[j].lock().expect("ad-init slot poisoned") = Some(st);
-                    })
-                })
-                .collect();
-            for handle in handles {
-                // INVARIANT: see selection-worker join above.
-                handle.join().expect("ad-init worker panicked");
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                // INVARIANT: every worker index wrote its slot before the
-                // joins above returned; None/poison implies a worker panic.
-                slot.into_inner()
-                    .expect("ad-init slot poisoned")
-                    .expect("ad-init worker skipped an ad")
-            })
-            .collect()
-    }
-
-    /// Initializes one ad's state (KPT pilot, θ, initial RR sample, heap).
-    ///
-    /// Per-ad seeds are derived by chained mixing ([`stream_seed`]) rather
-    /// than xor-ing a shifted ad index into the master seed: xor composition
-    /// made ad `j`'s set `i` share its RNG stream with ad `j'`'s set
-    /// `i ^ ((j ^ j') << 20)`, duplicating RR sets across advertisers once
-    /// samples grew past the shift.
-    fn init_ad(
-        &self,
-        j: usize,
-        tim: &TimConfig,
-        pr_order: Vec<NodeId>,
-        threads: usize,
-        rr_pool: Option<&SharedRrPool>,
-    ) -> AdState {
-        let n = self.inst.num_nodes();
-        let g = &self.inst.graph;
-        // Model-generic sampling: the prepared tables are IC acceptance
-        // thresholds or LT alias tables depending on the instance's model.
-        // Pooled ads keep a private sampler too — the OnlineBounds
-        // validation stream is never shared, and the fallback paths need it.
-        let mut sampler = PreparedSampler::for_model(g, &self.inst.model(j));
-        sampler.set_thread_cap(threads);
-        let pool_mode = rr_pool.map_or(TenantMode::Private, |p| p.mode(j));
-        let kpt_seed = stream_seed(self.cfg.seed ^ 0x4B50_7E57, j as u64);
-        // One KPT pilot serves both strategies: Eq. 8's θ is the fixed-θ
-        // sample size and the online mode's doubling cap. Identical pool
-        // tenants share their group's cached pilot (one pilot per model);
-        // reweighted tenants pilot privately — their spread differs from the
-        // reference's, so the OPT lower bound must come from their own model.
-        let kpt = if pool_mode == TenantMode::Identical {
-            rr_pool
-                .and_then(|p| p.kpt(g, j, 1, tim))
-                // INVARIANT: `mode` just classified this ad Identical, and
-                // the pool serves a pilot for every identical tenant.
-                .expect("identical tenants have a pooled pilot")
-        } else {
-            KptEstimator::estimate_with_sampler(g, &sampler, 1, tim, kpt_seed)
-        };
-        let s_latent = 1usize;
-        let theta_full = kpt.theta_for(n, s_latent, tim);
-        let capped = theta_full >= tim.max_sets_per_ad
-            && matches!(self.cfg.sampling, SamplingStrategy::FixedTheta);
-        let (theta, op) = match self.cfg.sampling {
-            SamplingStrategy::FixedTheta => (theta_full, None),
-            SamplingStrategy::OnlineBounds => {
-                // The per-ad valve bounds *total* sets; with two streams
-                // each may use at most half, so OnlineBounds never draws
-                // more than `max_sets_per_ad` sets even when the rule
-                // never certifies.
-                let theta_cap = theta_full.min(self.online_stream_valve(tim));
-                (
-                    opim::initial_theta(theta_cap),
-                    Some(OpimAdState {
-                        val_cov: RrCoverage::new(n),
-                        val_seed: stream_seed(self.cfg.seed ^ 0x0B5E_55ED, j as u64),
-                        theta_cap,
-                        // On tiny graphs Eq. 8's cap can undercut the
-                        // rule's default pilot gate; the floor clamps the
-                        // gate so the rule can certify at the cap instead
-                        // of spinning doubling steps that cannot happen.
-                        rule: StoppingRule::new(n, self.cfg.epsilon, self.cfg.ell)
-                            .with_pilot_floor(theta_cap),
-                    }),
-                )
-            }
-        };
-        let sample_seed = stream_seed(self.cfg.seed ^ 0x005A_3D17, j as u64);
-        let no_seeds = vec![false; n];
-        // Selection stream: pooled tenants read the shared arena (weighted
-        // ingestion for reweighted tenants — the index accumulates the
-        // importance mass); private ads sample their own stream. Shared
-        // sets are accounted once by the pool, so `samples` stays 0 here
-        // for pooled ads.
-        let mut cov = if pool_mode == TenantMode::Reweighted {
-            RrCoverage::new_weighted(n)
-        } else {
-            RrCoverage::new(n)
-        };
-        let mut samples = 0u64;
-        let pooled = rr_pool
-            .and_then(|p| {
-                p.with_range(g, j, 0, theta, |arena, lo, hi, w| {
-                    match w {
-                        Some(w) => cov.add_range_weighted(arena, lo, hi, &no_seeds, w),
-                        None => cov.add_range(arena, lo, hi, &no_seeds),
-                    };
-                })
-            })
-            .is_some();
-        if !pooled {
-            let (sets, _) = sampler.sample_batch(g, theta, sample_seed, 0);
-            cov.add_batch(&sets, &no_seeds);
-            samples += theta as u64;
-        }
-        // The validation stream (OnlineBounds) is always a private
-        // unit-weight sample: the stopping rule's unbiasedness argument
-        // needs draws independent of the selection stream every other
-        // tenant shares.
-        let op = op.map(|mut op| {
-            let (val_sets, _) = sampler.sample_batch(g, theta, op.val_seed, 0);
-            op.val_cov.add_batch(&val_sets, &no_seeds);
-            samples += theta as u64;
-            op
-        });
-        let mut st = AdState {
-            idx: j,
-            sampler,
-            cov,
-            theta,
-            s_latent,
-            kpt,
-            seeds: Vec::new(),
-            is_seed: vec![false; n],
-            cost_total: 0.0,
-            heap: LazyGreedyHeap::default(),
-            pr_order,
-            pr_cursor: 0,
-            exhausted: false,
-            candidate: None,
-            sample_seed,
-            samples,
-            capped,
-            bound_checks: 0,
-            opim: op,
-        };
-        // OnlineBounds: double from the pilot until the stopping rule
-        // certifies the initial latent size (or the Eq. 8 cap is reached).
-        if st.opim.is_some() {
-            self.certify_or_double(&mut st, tim, &no_seeds, rr_pool);
-        }
-        // Growth batches run one ad at a time: restore the configured cap.
-        st.sampler.set_thread_cap(self.cfg.sampler_threads);
-        st.heap = self.build_heap(&st.cov, j, &no_seeds);
-        st
-    }
-
-    /// The online-bounds growth loop: evaluates the stopping rule at the
-    /// current sample and doubles **both** RR streams until it certifies
-    /// `LB/UB ≥ 1 − 1/e − ε` for the ad's current latent size, or the
-    /// doubling cap — Eq. 8's worst case, clamped to the per-stream valve —
-    /// is reached (at Eq. 8's θ the fixed-θ guarantee applies regardless).
-    /// Returns `true` if the sample grew.
-    ///
-    /// Each check clones the selection index once (greedy extension) and
-    /// the validation index once (extension counts). Checks happen a
-    /// handful of times per latent-size epoch and the indexes compact as
-    /// seeds commit, so this is far below the sampling cost it avoids —
-    /// the ablation's wall-clock numbers include it.
-    ///
-    /// The rule certifies the **residual** problem at the latent size `s`:
-    /// with `|S|` seeds committed and `k = s − |S|` more allowed, the
-    /// coverage gain beyond `S` is itself monotone submodular, so the
-    /// greedy `k`-extension on the selection stream is `(1 − 1/e)`-optimal
-    /// for it. The achieved side lower-bounds that extension's gain on the
-    /// *validation* stream; the OPT side upper-bounds the best residual
-    /// gain on the *selection* stream by the smallest of three observable
-    /// bounds (top-`k` marginal sum, extension gain + post-extension
-    /// top-`k`, and the greedy `(1 − 1/e)` bound). A provably negligible
-    /// residual — at most ε times the validated achieved coverage —
-    /// certifies too (further precision is inside Eq. 8's additive slack).
-    fn certify_or_double(
-        &self,
-        st: &mut AdState,
-        tim: &TimConfig,
-        assigned: &[bool],
-        rr_pool: Option<&SharedRrPool>,
-    ) -> bool {
-        let g = &self.inst.graph;
-        let mut grew = false;
-        loop {
-            let op = st
-                .opim
-                // INVARIANT: callers gate on SamplingStrategy::OnlineBounds,
-                // whose init_ads constructs opim state for every ad.
-                .as_ref()
-                .expect("certify_or_double requires opim state");
-            let s = st.s_latent.max(1);
-            let k = s.saturating_sub(st.seeds.len()).max(1);
-            // Greedy residual extension on the selection stream. Assigned
-            // nodes are out for both sides: the residual optimum is over
-            // the nodes this ad could still pick.
-            // Weighted accessors so reweighted pool tenants bound their
-            // *importance mass* — for unit-weight indexes they return the
-            // exact f64 image of the counts (< 2^53), so the f64 min-chain
-            // below is bit-identical to the former u64 arithmetic.
-            let ext = st.cov.greedy_extension(k, k, |v| assigned[v as usize]);
-            let ext_gain = ext.covered_weight - st.cov.covered_weight();
-            let top_k = st.cov.top_k_weight(k, |v| assigned[v as usize]);
-            let greedy_ub = ext_gain / (1.0 - (-1.0f64).exp());
-            let residual_ub = top_k.min(ext_gain + ext.residual_top_weight).min(greedy_ub);
-            // Validation-stream counts: the index already tracks the
-            // committed set, so only the extension is applied on a scratch
-            // clone. `achieved` includes the committed coverage.
-            let (achieved, gain) = op.val_cov.coverage_split(&[], &ext.picks);
-            st.bound_checks += 1;
-            let check = op.rule.check(
-                st.theta,
-                st.bound_checks,
-                achieved as f64,
-                gain as f64,
-                residual_ub,
-            );
-            if std::env::var("RM_OPIM_DEBUG").is_ok() {
-                eprintln!(
-                    "[opim] ad {} θ={} s={} |S|={} k={} gain={} achieved={} res_ub={:.0} lb={:.0} ub={:.0} ratio={:.3} target={:.3}",
-                    st.idx, st.theta, s, st.seeds.len(), k, gain, achieved, residual_ub,
-                    check.gain_lower, check.residual_upper,
-                    check.gain_lower / check.residual_upper, op.rule.target(),
-                );
-            }
-            if check.satisfied {
-                return grew;
-            }
-            if st.theta >= op.theta_cap {
-                // Doubling budget exhausted without certifying. Reaching
-                // Eq. 8's θ keeps the worst-case guarantee; being stopped
-                // short of it by the per-ad resource valve degrades the
-                // estimates and is reported like the fixed-θ cap.
-                if op.theta_cap < st.kpt.theta_for(self.inst.num_nodes(), s, tim) {
-                    st.capped = true;
-                }
-                return grew;
-            }
-            // Grow both streams to the next doubling step. The selection
-            // stream comes from the pool for pooled ads (and is then
-            // counted by the pool, not `samples`); the validation stream is
-            // always a fresh private batch.
-            let target = opim::next_theta(st.theta, op.theta_cap);
-            let batch = target - st.theta;
-            let val_seed = op.val_seed;
-            if !self.pooled_add_range(st, rr_pool, st.theta, target) {
-                let (sets, _) = st
-                    .sampler
-                    .sample_batch(g, batch, st.sample_seed, st.theta as u64);
-                st.cov.add_batch(&sets, &st.is_seed);
-                st.samples += batch as u64;
-            }
-            let (val_sets, _) = st.sampler.sample_batch(g, batch, val_seed, st.theta as u64);
-            // INVARIANT: the enclosing branch read st.opim immutably above.
-            let op = st.opim.as_mut().expect("opim state just observed");
-            op.val_cov.add_batch(&val_sets, &st.is_seed);
-            st.samples += batch as u64;
-            st.theta = target;
-            grew = true;
-        }
-    }
-
-    /// Per-stream doubling valve of the online mode: `max_sets_per_ad`
-    /// bounds the **total** RR sets an ad may hold, so each of the two
-    /// streams gets half.
-    fn online_stream_valve(&self, tim: &TimConfig) -> usize {
-        (tim.max_sets_per_ad / 2).max(1)
-    }
-
     /// Builds (or rebuilds) an ad's candidate heap for the current sample.
     /// Keys read the weighted coverage accessor: the exact f64 image of the
     /// count on unit-weight indexes (bit-identical to the former
     /// `coverage(v) as f64`), the importance mass for reweighted tenants.
-    fn build_heap(&self, cov: &RrCoverage, ad: usize, assigned: &[bool]) -> LazyGreedyHeap {
-        let n = self.inst.num_nodes();
+    pub(crate) fn build_heap(
+        &self,
+        cov: &RrCoverage,
+        ad: usize,
+        assigned: &[bool],
+    ) -> LazyGreedyHeap {
+        let inst = self.inst();
+        let n = inst.num_nodes();
         match self.kind {
             AlgorithmKind::PageRankGr | AlgorithmKind::PageRankRr => LazyGreedyHeap::default(),
             AlgorithmKind::TiCarm => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
@@ -840,7 +390,7 @@ impl<'a> TiEngine<'a> {
                     if c == 0.0 || assigned[v as usize] {
                         return None;
                     }
-                    let cost = self.inst.incentives[ad].cost(v).max(COST_FLOOR);
+                    let cost = inst.incentives[ad].cost(v).max(COST_FLOOR);
                     Some((v, c / cost))
                 })),
                 Window::Size(_) => LazyGreedyHeap::build((0..n as NodeId).filter_map(|v| {
@@ -895,7 +445,7 @@ impl<'a> TiEngine<'a> {
             return self.select_eager(st, assigned, stats, key, 1);
         }
         let cov_ref = &st.cov;
-        let incent = &self.inst.incentives[ad];
+        let incent = &self.inst().incentives[ad];
         let current = |v: NodeId| -> f64 {
             let c = cov_ref.coverage_weight(v);
             match key {
@@ -940,7 +490,7 @@ impl<'a> TiEngine<'a> {
         if popped.is_empty() {
             return None;
         }
-        let incent = &self.inst.incentives[ad];
+        let incent = &self.inst().incentives[ad];
         let best = popped
             .iter()
             .map(|&(v, cov)| (v, cov, cov / incent.cost(v).max(COST_FLOOR)))
@@ -959,9 +509,10 @@ impl<'a> TiEngine<'a> {
         key: KeyKind,
         w: usize,
     ) -> Option<Candidate> {
-        let n = self.inst.num_nodes();
+        let inst = self.inst();
+        let n = inst.num_nodes();
         let ad = st.idx;
-        let incent = &self.inst.incentives[ad];
+        let incent = &inst.incentives[ad];
         stats.candidate_evaluations += n as u64;
         match key {
             KeyKind::Coverage | KeyKind::Ratio => {
@@ -1024,14 +575,20 @@ impl<'a> TiEngine<'a> {
     /// candidates. Returns the winning ad index. Feasibility is evaluated
     /// fresh every round — budgets and π̂ move only when an ad itself
     /// commits, so a cached candidate's feasibility test reads exactly the
-    /// state the sequential engine would have read.
-    fn choose_winner(&self, ads: &[AdState], rr_cursor: usize, n: usize) -> Option<usize> {
+    /// state the sequential engine would have read. Empty slots (departed
+    /// or not-yet-admitted ads) are skipped; slot index == ad id.
+    pub(crate) fn choose_winner(
+        &self,
+        ads: &[Option<AdState>],
+        rr_cursor: usize,
+        n: usize,
+    ) -> Option<usize> {
+        let inst = self.inst();
         let h = ads.len();
-        let feasible = |j: usize, cand: &Candidate| -> Option<(f64, f64)> {
-            let ad = &self.inst.ads[j];
-            let st = &ads[j];
+        let feasible = |j: usize, st: &AdState, cand: &Candidate| -> Option<(f64, f64)> {
+            let ad = &inst.ads[j];
             let d_pi = st.delta_pi(ad.cpe, n, cand.cov);
-            let cost = self.inst.incentives[j].cost(cand.v);
+            let cost = inst.incentives[j].cost(cand.v);
             let d_rho = d_pi + cost;
             // The budget test must charge exactly what a commit will
             // charge. Under OnlineBounds π̂ reads the validation stream,
@@ -1051,8 +608,9 @@ impl<'a> TiEngine<'a> {
             AlgorithmKind::PageRankRr => {
                 for off in 0..h {
                     let j = (rr_cursor + off) % h;
-                    if let Some(cand) = &ads[j].candidate {
-                        if feasible(j, cand).is_some() {
+                    let Some(st) = &ads[j] else { continue };
+                    if let Some(cand) = &st.candidate {
+                        if feasible(j, st, cand).is_some() {
                             return Some(j);
                         }
                     }
@@ -1062,8 +620,9 @@ impl<'a> TiEngine<'a> {
             AlgorithmKind::TiCarm | AlgorithmKind::PageRankGr => {
                 let mut best: Option<(usize, f64)> = None;
                 for (j, st) in ads.iter().enumerate() {
+                    let Some(st) = st else { continue };
                     let Some(cand) = &st.candidate else { continue };
-                    if let Some((d_pi, _)) = feasible(j, cand) {
+                    if let Some((d_pi, _)) = feasible(j, st, cand) {
                         if best.is_none_or(|(_, s)| d_pi > s) {
                             best = Some((j, d_pi));
                         }
@@ -1074,8 +633,9 @@ impl<'a> TiEngine<'a> {
             AlgorithmKind::TiCsrm => {
                 let mut best: Option<(usize, f64)> = None;
                 for (j, st) in ads.iter().enumerate() {
+                    let Some(st) = st else { continue };
                     let Some(cand) = &st.candidate else { continue };
-                    if let Some((d_pi, d_rho)) = feasible(j, cand) {
+                    if let Some((d_pi, d_rho)) = feasible(j, st, cand) {
                         let ratio = if d_rho <= 0.0 { 0.0 } else { d_pi / d_rho };
                         if best.is_none_or(|(_, s)| ratio > s) {
                             best = Some((j, ratio));
@@ -1086,136 +646,10 @@ impl<'a> TiEngine<'a> {
             }
         }
     }
-
-    /// Lines 17–22: Eq. 10 latent-size update, sample growth, Algorithm 3
-    /// estimate refresh, heap rebuild.
-    fn update_latent(
-        &self,
-        st: &mut AdState,
-        assigned: &[bool],
-        tim: &TimConfig,
-        rr_pool: Option<&SharedRrPool>,
-        stats: &mut RunStats,
-    ) {
-        let n = self.inst.num_nodes();
-        let ad = &self.inst.ads[st.idx];
-        let rho = st.rho(ad.cpe, n);
-        let headroom = ad.budget - rho;
-        let mut s_new = st.s_latent.max(st.seeds.len());
-        if headroom > 0.0 && st.theta > 0 {
-            // Weighted accessor: exact f64 image of the count for
-            // unit-weight indexes, importance mass for reweighted tenants.
-            let fmax = st.cov.max_coverage_weight(|v| assigned[v as usize]) / st.theta as f64;
-            let denom = self.inst.incentives[st.idx].cmax() + ad.cpe * n as f64 * fmax;
-            if denom > 0.0 {
-                s_new += (headroom / denom).floor() as usize;
-            }
-        }
-        if s_new <= st.s_latent {
-            // No latent growth (Eq. 10 projects no further affordable
-            // seeds). If the remaining headroom cannot cover even the
-            // cheapest conceivable candidate — incentive at least c_min,
-            // plus Δπ ≥ cpe·n/θ for the coverage-driven algorithms, whose
-            // candidates always have coverage ≥ 1 — every future proposal
-            // is infeasible (ρ only grows between sample updates), so retire
-            // the ad instead of re-evaluating a doomed candidate each round.
-            let min_dpi = match self.kind {
-                // Under OnlineBounds the commit charge is the candidate's
-                // *validation*-stream marginal, which can be zero even for
-                // a positive-coverage selection candidate — so only the
-                // incentive floor is certain. A reweighted pool tenant's
-                // weighted marginal can likewise be arbitrarily small (one
-                // covered set of tiny importance weight), so the
-                // one-set-per-candidate Δπ floor only holds for unit-weight
-                // indexes.
-                AlgorithmKind::TiCarm | AlgorithmKind::TiCsrm
-                    if matches!(self.cfg.sampling, SamplingStrategy::FixedTheta)
-                        && !st.cov.is_weighted() =>
-                {
-                    ad.cpe * n as f64 / st.theta.max(1) as f64
-                }
-                // PageRank candidates may have zero coverage, hence zero Δπ.
-                _ => 0.0,
-            };
-            // Same BUDGET_EPS slack as `choose_winner`'s feasibility test,
-            // so a boundary candidate the selection rule would accept is
-            // never retired away.
-            if headroom + BUDGET_EPS < self.inst.incentives[st.idx].cmin() + min_dpi {
-                st.exhausted = true;
-                stats.budget_exhausted_ads += 1;
-            }
-            return;
-        }
-        st.s_latent = s_new;
-        match self.cfg.sampling {
-            SamplingStrategy::FixedTheta => {
-                // Worst-case schedule: jump straight to Eq. 8's θ for the
-                // new latent size.
-                let theta_new = st.kpt.theta_for(n, st.s_latent, tim).max(st.theta);
-                if theta_new >= tim.max_sets_per_ad {
-                    st.capped = true;
-                }
-                if theta_new > st.theta {
-                    // Pooled ads extend their view of the shared arena;
-                    // private ads grow their own stream.
-                    if !self.pooled_add_range(st, rr_pool, st.theta, theta_new) {
-                        let (sets, _) = st.sampler.sample_batch(
-                            &self.inst.graph,
-                            theta_new - st.theta,
-                            st.sample_seed,
-                            st.theta as u64,
-                        );
-                        st.cov.add_batch(&sets, &st.is_seed);
-                        st.samples += (theta_new - st.theta) as u64;
-                    }
-                    st.theta = theta_new;
-                    // Coverage counts grew: lazy-heap invariant (keys only
-                    // decrease) is broken, rebuild from scratch.
-                    st.heap = self.build_heap(&st.cov, st.idx, assigned);
-                    stats.candidate_evaluations += n as u64;
-                }
-            }
-            SamplingStrategy::OnlineBounds => {
-                // Online schedule: raise the doubling cap to the new latent
-                // size's worst case (within the per-stream valve), then
-                // grow only until the stopping rule certifies — the bound
-                // check, not Eq. 8, decides θ.
-                let cap = st
-                    .kpt
-                    .theta_for(n, st.s_latent, tim)
-                    .min(self.online_stream_valve(tim));
-                // INVARIANT: init_ads builds opim state whenever the
-                // strategy is OnlineBounds, the only path reaching here.
-                let op = st.opim.as_mut().expect("OnlineBounds ads carry opim state");
-                op.theta_cap = op.theta_cap.max(cap);
-                if self.certify_or_double(st, tim, assigned, rr_pool) {
-                    st.heap = self.build_heap(&st.cov, st.idx, assigned);
-                    stats.candidate_evaluations += n as u64;
-                }
-            }
-        }
-    }
 }
 
-/// Terminal Table-3 accounting for one ad: compacts the live indexes — sets
-/// covered by seeds committed since the last growth batch still hold
-/// storage — and returns the ad's resident RR bytes. Each component is
-/// counted exactly once: the selection index, the ad's sampling tables, and
-/// (OnlineBounds) the validation index. Cross-ad state is excluded — the
-/// shared TIC per-topic table and the shared RR pool's arenas are each
-/// added once per run by the caller, never per ad.
-pub(crate) fn terminal_ad_bytes(st: &mut AdState) -> usize {
-    st.cov.compact();
-    let mut bytes = st.cov.memory_bytes() + st.sampler.memory_bytes();
-    if let Some(op) = st.opim.as_mut() {
-        op.val_cov.compact();
-        bytes += op.val_cov.memory_bytes();
-    }
-    bytes
-}
-
-/// Per-run selection fan-out policy (see [`TiEngine::selection_policy`]).
-struct SelectionPolicy {
+/// Per-run selection fan-out policy (see [`EngineCtx::selection_policy`]).
+pub(crate) struct SelectionPolicy {
     /// Worker cap: hardware parallelism in auto mode, or the explicit
     /// `selection_threads` value.
     cap: usize,

@@ -24,9 +24,12 @@
 mod ad_state;
 mod config;
 mod engine;
+mod epoch;
+mod resident;
 
 #[cfg(test)]
 mod tests;
 
-pub use config::{AlgorithmKind, SamplingStrategy, ScalableConfig, Window};
+pub use config::{AlgorithmKind, SamplingStrategy, ScalableConfig, ScalableConfigError, Window};
 pub use engine::TiEngine;
+pub use resident::{GraphDelta, ResidentEngine, ResidentError, ServeEvent, ServeOp};

@@ -829,9 +829,9 @@ fn terminal_memory_counts_each_component_exactly_once() {
     // validation index, each appearing exactly once. Built by hand so the
     // expected sum is computable from the components themselves.
     use super::ad_state::OpimAdState;
-    use super::engine::terminal_ad_bytes;
+    use super::epoch::terminal_ad_bytes;
     use rm_rrsets::{
-        KptEstimator, LazyGreedyHeap, PreparedSampler, RrCoverage, StoppingRule, TimConfig,
+        KptEstimator, LazyGreedyHeap, PreparedSampler, RrArena, RrCoverage, StoppingRule, TimConfig,
     };
 
     let inst = wc_instance(200, 1, 40.0, 0.2, 5);
@@ -873,6 +873,8 @@ fn terminal_memory_counts_each_component_exactly_once() {
             theta_cap: 4 * theta,
             rule: StoppingRule::new(n, 0.3, 1.0),
         }),
+        sel_sets: RrArena::new(),
+        val_sets: RrArena::new(),
     };
     let with_val = terminal_ad_bytes(&mut st);
     // `terminal_ad_bytes` compacted both indexes; re-reading the components
@@ -923,4 +925,286 @@ fn topical_instance_allocates_competing_pairs() {
     let (alloc, stats) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, test_cfg(9)).run();
     assert!(alloc.is_disjoint());
     assert!(stats.revenue_per_ad.iter().all(|&r| r > 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Resident engine: incremental arrivals, departures and graph deltas.
+// ---------------------------------------------------------------------------
+
+use super::{GraphDelta, ResidentEngine, ResidentError, ServeOp};
+
+/// Like [`wc_instance`] but over an explicit edge list, so a test can build
+/// the pre- and post-delta instances of the *same* advertiser population.
+fn wc_edges_instance(
+    n: usize,
+    edges: &[(rm_graph::NodeId, rm_graph::NodeId)],
+    h: usize,
+    budget: f64,
+    alpha: f64,
+    seed: u64,
+) -> RmInstance {
+    let g = Arc::new(rm_graph::builder::graph_from_edges(n, edges));
+    let tic = TicModel::weighted_cascade(&g);
+    let ads = (0..h)
+        .map(|_| Advertiser::new(1.0, budget, TopicDistribution::uniform(1)))
+        .collect();
+    RmInstance::build(
+        g,
+        &tic,
+        ads,
+        IncentiveModel::Linear { alpha },
+        SingletonMethod::RrEstimate { theta: 20_000 },
+        seed ^ 0x1111,
+    )
+}
+
+/// The BA edge list [`wc_instance`]'s graph is built from.
+fn ba_edges(n: usize, seed: u64) -> Vec<(rm_graph::NodeId, rm_graph::NodeId)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = generators::barabasi_albert(n, 3, &mut rng);
+    g.edges().map(|(_, u, v)| (u, v)).collect()
+}
+
+#[test]
+fn resident_arrival_order_converges_near_batch() {
+    // Equivalence suite: several scripted arrival orders, each admitted one
+    // advertiser at a time; the incremental end state must land within ε of
+    // the cold batch recompute on the same final tenant set. (Bit-identity
+    // is only promised for the all-at-once admission the batch wrapper
+    // performs — early arrivers commit seeds without later competition.)
+    let inst = Arc::new(wc_instance(300, 3, 60.0, 0.2, 42));
+    let (_, batch) = TiEngine::new(&inst, AlgorithmKind::TiCsrm, test_cfg(7)).run();
+    for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+        let mut eng =
+            ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, test_cfg(7)).unwrap();
+        for ad in order {
+            let ev = eng.add_advertiser(ad).unwrap();
+            assert_eq!(ev.op, ServeOp::Arrival { ads: vec![ad] });
+            assert_eq!(ev.invalidated_sets, 0, "arrivals invalidate nothing");
+        }
+        assert_eq!(eng.active_ads(), 3);
+        assert_eq!(eng.events().len(), 3);
+        let (alloc, stats) = eng.finish();
+        assert_feasible(&inst, &alloc, &stats);
+        let rel = (stats.total_revenue() - batch.total_revenue()).abs() / batch.total_revenue();
+        assert!(
+            rel < 0.15,
+            "arrival order {order:?}: incremental revenue {} vs batch {} (rel {rel:.3})",
+            stats.total_revenue(),
+            batch.total_revenue(),
+        );
+    }
+}
+
+#[test]
+fn resident_script_replay_is_deterministic_and_thread_invariant() {
+    // Same script + same seed ⇒ bit-identical event log and final
+    // allocation, at selection_threads ∈ {1, 8}. The script exercises batch
+    // arrival, single arrival, departure and re-arrival.
+    let inst = Arc::new(wc_instance(300, 3, 60.0, 0.2, 9));
+    let run = |threads: usize| {
+        let cfg = ScalableConfig {
+            selection_threads: threads,
+            ..test_cfg(5)
+        };
+        let mut eng = ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, cfg).unwrap();
+        eng.add_advertisers(&[0, 1]).unwrap();
+        eng.add_advertiser(2).unwrap();
+        eng.remove_advertiser(1).unwrap();
+        eng.add_advertiser(1).unwrap();
+        let events = eng.events().to_vec();
+        let (alloc, stats) = eng.finish();
+        (events, alloc, stats)
+    };
+    let (ev1, al1, st1) = run(1);
+    for _ in 0..2 {
+        let (ev8, al8, st8) = run(8);
+        assert_eq!(ev1, ev8, "event logs differ across selection thread counts");
+        assert_eq!(
+            al1, al8,
+            "allocations differ across selection thread counts"
+        );
+        assert_eq!(
+            deterministic_stats(&st1),
+            deterministic_stats(&st8),
+            "stats differ across selection thread counts"
+        );
+    }
+    // The departure released its seeds and the re-arrival re-admitted the
+    // ad; the end state must be a full three-tenant allocation again.
+    assert!(ev1[2].seeds_total < ev1[1].seeds_total || ev1[1].seeds_total == 0);
+    assert!(st1.seeds_per_ad.iter().all(|&s| s > 0));
+    assert_feasible(&inst, &al1, &st1);
+}
+
+#[test]
+fn resident_departure_frees_seeds_for_survivors() {
+    // After a departure, nodes the departed ad held become assignable: the
+    // survivors' re-run must be able to pick them up (seed counts can only
+    // grow — their budgets had headroom exactly where contention bit).
+    let inst = Arc::new(wc_instance(300, 2, 40.0, 0.2, 21));
+    let mut eng =
+        ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, test_cfg(3)).unwrap();
+    eng.add_advertisers(&[0, 1]).unwrap();
+    let before = eng.allocation();
+    let ev = eng.remove_advertiser(0).unwrap();
+    assert_eq!(ev.op, ServeOp::Departure { ad: 0 });
+    assert_eq!(eng.active_ads(), 1);
+    let after = eng.allocation();
+    assert!(after.seeds[0].is_empty(), "departed ad keeps no seeds");
+    assert!(
+        after.seeds[1].len() >= before.seeds[1].len(),
+        "survivor lost seeds on a departure"
+    );
+    let (alloc, stats) = eng.finish();
+    assert!(alloc.is_disjoint());
+    assert_eq!(stats.seeds_per_ad[0], 0);
+}
+
+#[test]
+fn resident_graph_delta_resamples_only_the_invalidated_fraction() {
+    // The tentpole's delta contract, end to end: an edge-removal delta must
+    // repair the engine by resampling *only* the RR sets whose traces could
+    // have touched the changed edge — counted in RunStats and strictly
+    // below the full θ a cold rebuild would redraw. Exercised on both the
+    // private-stream path and the shared-pool path.
+    let n = 300;
+    let h = 2;
+    let edges = ba_edges(n, 42);
+    let &(u, v) = edges.last().unwrap();
+    let new_edges: Vec<_> = edges[..edges.len() - 1].to_vec();
+    let delta = GraphDelta {
+        inserts: Vec::new(),
+        removes: vec![(u, v)],
+    };
+    for cfg in [test_cfg(7), pooled_cfg(7)] {
+        let inst = Arc::new(wc_edges_instance(n, &edges, h, 60.0, 0.2, 42));
+        let new_inst = Arc::new(wc_edges_instance(n, &new_edges, h, 60.0, 0.2, 42));
+        let mut eng = ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, cfg).unwrap();
+        eng.add_advertisers(&[0, 1]).unwrap();
+        let ev = eng
+            .apply_graph_delta(Arc::clone(&new_inst), &delta)
+            .unwrap();
+        assert_eq!(
+            ev.op,
+            ServeOp::GraphDelta {
+                inserts: 0,
+                removes: 1
+            }
+        );
+        assert_eq!(ev.invalidated_sets, ev.resampled_sets);
+        let (alloc, stats) = eng.finish();
+        assert!(
+            stats.delta_invalidated_sets > 0,
+            "a removed edge's target must appear in some RR sets"
+        );
+        assert!(
+            (stats.delta_invalidated_sets as usize) < stats.total_theta(),
+            "delta repair resampled {} of {} sets — no better than a rebuild",
+            stats.delta_invalidated_sets,
+            stats.total_theta(),
+        );
+        assert_eq!(stats.delta_resampled_sets, stats.delta_invalidated_sets);
+        assert!(alloc.is_disjoint());
+        // The repaired estimates live on the new graph: the end state must
+        // be in the cold recompute's neighborhood (not bit-identical — the
+        // resident engine keeps its committed seeds and pre-delta θ).
+        let (_, cold) = TiEngine::new(&new_inst, AlgorithmKind::TiCsrm, cfg).run();
+        let rel = (stats.total_revenue() - cold.total_revenue()).abs() / cold.total_revenue();
+        assert!(
+            rel < 0.15,
+            "post-delta revenue {} vs cold {} (rel {rel:.3}, sharing={})",
+            stats.total_revenue(),
+            cold.total_revenue(),
+            cfg.rr_sharing,
+        );
+    }
+}
+
+#[test]
+fn resident_graph_delta_replay_is_deterministic() {
+    // Delta repair replays per-set RNG streams, so the whole script —
+    // admission, delta, convergence — must reproduce bit-identically, and
+    // under OnlineBounds the private validation stream must be repaired too.
+    let n = 300;
+    let edges = ba_edges(n, 9);
+    let &(u, v) = edges.last().unwrap();
+    let new_edges: Vec<_> = edges[..edges.len() - 1].to_vec();
+    let delta = GraphDelta {
+        inserts: Vec::new(),
+        removes: vec![(u, v)],
+    };
+    let inst = Arc::new(wc_edges_instance(n, &edges, 2, 40.0, 0.2, 9));
+    let new_inst = Arc::new(wc_edges_instance(n, &new_edges, 2, 40.0, 0.2, 9));
+    let run = || {
+        let mut eng =
+            ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, online_cfg(5)).unwrap();
+        eng.add_advertisers(&[0, 1]).unwrap();
+        eng.apply_graph_delta(Arc::clone(&new_inst), &delta)
+            .unwrap();
+        let events = eng.events().to_vec();
+        let (alloc, stats) = eng.finish();
+        (events, alloc, stats)
+    };
+    let (ev1, al1, st1) = run();
+    let (ev2, al2, st2) = run();
+    assert_eq!(ev1, ev2, "delta replay event logs differ across runs");
+    assert_eq!(al1, al2);
+    assert_eq!(deterministic_stats(&st1), deterministic_stats(&st2));
+    assert!(st1.delta_invalidated_sets > 0);
+    assert!(st1.bound_checks > 0, "OnlineBounds path not exercised");
+}
+
+#[test]
+fn resident_rejects_invalid_operations_with_typed_errors() {
+    let inst = Arc::new(wc_instance(200, 2, 40.0, 0.2, 5));
+    let bad = ScalableConfig {
+        sampler_threads: 0,
+        ..test_cfg(1)
+    };
+    assert!(matches!(
+        ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, bad),
+        Err(ResidentError::InvalidConfig(_))
+    ));
+    assert!(TiEngine::try_new(&inst, AlgorithmKind::TiCsrm, bad).is_err());
+
+    let mut eng =
+        ResidentEngine::new(Arc::clone(&inst), AlgorithmKind::TiCsrm, test_cfg(1)).unwrap();
+    assert_eq!(
+        eng.add_advertiser(2).unwrap_err(),
+        ResidentError::AdOutOfRange(2)
+    );
+    assert_eq!(
+        eng.add_advertisers(&[0, 0]).unwrap_err(),
+        ResidentError::DuplicateAd(0)
+    );
+    assert_eq!(
+        eng.remove_advertiser(1).unwrap_err(),
+        ResidentError::AdNotActive(1)
+    );
+    eng.add_advertiser(0).unwrap();
+    assert_eq!(
+        eng.add_advertiser(0).unwrap_err(),
+        ResidentError::AdAlreadyActive(0)
+    );
+    // A failed operation must leave no trace in the event log.
+    assert_eq!(eng.events().len(), 1);
+
+    let mismatched = Arc::new(wc_instance(200, 3, 40.0, 0.2, 5));
+    assert_eq!(
+        eng.apply_graph_delta(mismatched, &GraphDelta::default())
+            .unwrap_err(),
+        ResidentError::InstanceMismatch
+    );
+
+    // The batch wrapper's engine runs without retained sets: graph deltas
+    // must be refused, not silently mis-repaired.
+    let mut batch_eng = ResidentEngine::for_batch(&inst, AlgorithmKind::TiCsrm, test_cfg(1));
+    batch_eng.add_advertisers(&[0, 1]).unwrap();
+    assert_eq!(
+        batch_eng
+            .apply_graph_delta(Arc::clone(&inst), &GraphDelta::default())
+            .unwrap_err(),
+        ResidentError::SetsNotRetained
+    );
 }

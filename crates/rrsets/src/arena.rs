@@ -109,6 +109,43 @@ impl RrArena {
             .extend(other.offsets[1..].iter().map(|&o| base + o));
     }
 
+    /// Replaces the sets at `ids` (strictly ascending) with the sets of
+    /// `repl` (one per id, in order), rebuilding the flat storage in one
+    /// pass. This is the graph-delta repair primitive: invalidated sets are
+    /// resampled on the changed graph and spliced back *in place*, so set
+    /// ids — and with them the per-set RNG streams that produced every
+    /// surviving set — stay stable across the repair.
+    pub fn replace_sets(&mut self, ids: &[usize], repl: &RrArena) {
+        // INVARIANT: API contract — one replacement per id, ids ascending
+        // and in range; violations would silently mis-splice sets.
+        assert_eq!(ids.len(), repl.len(), "one replacement set per id");
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        if ids.is_empty() {
+            return;
+        }
+        // INVARIANT: `ids` is non-empty (early return above), so `last()`
+        // exists; it is the maximum id because ids ascend — part of the same
+        // contract check as above.
+        assert!(*ids.last().unwrap() < self.len(), "replace id out of range");
+        let kept = self.nodes.len() - ids.iter().map(|&i| self.get(i).len()).sum::<usize>();
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(kept + repl.total_nodes());
+        let mut offsets: Vec<u64> = Vec::with_capacity(self.offsets.len());
+        offsets.push(0);
+        let mut r = 0usize;
+        for sid in 0..self.len() {
+            let set = if r < ids.len() && ids[r] == sid {
+                r += 1;
+                repl.get(r - 1)
+            } else {
+                self.get(sid)
+            };
+            nodes.extend_from_slice(set);
+            offsets.push(nodes.len() as u64);
+        }
+        self.offsets = offsets;
+        self.nodes = nodes;
+    }
+
     /// Ensures capacity for at least `total` member nodes overall.
     pub fn reserve_nodes(&mut self, total: usize) {
         self.nodes.reserve(total.saturating_sub(self.nodes.len()));
@@ -168,6 +205,28 @@ mod tests {
         let expect: RrArena = [&[1u32, 2][..], &[3], &[4], &[5, 6]].into_iter().collect();
         assert_eq!(spliced, expect);
         assert_eq!(spliced.len(), 4);
+    }
+
+    #[test]
+    fn replace_sets_splices_in_place() {
+        let mut a: RrArena = [&[1u32, 2][..], &[3][..], &[4, 5, 6][..], &[7][..]]
+            .into_iter()
+            .collect();
+        let repl: RrArena = [&[9u32][..], &[8, 8][..]].into_iter().collect();
+        a.replace_sets(&[1, 3], &repl);
+        let expect: RrArena = [&[1u32, 2][..], &[9], &[4, 5, 6], &[8, 8]]
+            .into_iter()
+            .collect();
+        assert_eq!(a, expect);
+        // Empty id list is a no-op.
+        let before = a.clone();
+        a.replace_sets(&[], &RrArena::new());
+        assert_eq!(a, before);
+        // Replacements may change set widths arbitrarily (grow and shrink).
+        let repl2: RrArena = [&[][..]].into_iter().collect();
+        a.replace_sets(&[0], &repl2);
+        assert_eq!(a.get(0), &[] as &[NodeId]);
+        assert_eq!(a.len(), 4);
     }
 
     #[test]

@@ -449,6 +449,71 @@ impl RrCoverage {
         newly
     }
 
+    /// Tombstones every live set containing `v`: the sets leave the
+    /// estimator entirely — members' coverage counts drop **and the θ
+    /// denominator ([`Self::num_sets`]) shrinks** — unlike
+    /// [`Self::cover_with`], which moves covered sets into the numerator.
+    /// Storage is reclaimed lazily by the next rebuild ([`Self::compact`]
+    /// forces one immediately). Returns the number of sets tombstoned.
+    ///
+    /// This is the invalidation half of a tombstone-and-reingest repair:
+    /// tombstoning decrements `num_sets` and a later
+    /// [`Self::add_batch`]/[`Self::add_range`] of the replacement sets
+    /// re-increments it, so θ is preserved across the pair. Sets already
+    /// covered by committed seeds are *not* touched — they hold no storage
+    /// (or are flagged covered) and their contribution stays in
+    /// [`Self::covered_total`].
+    pub fn tombstone_containing(&mut self, v: NodeId) -> usize {
+        let mut k = self.inv_offsets[v as usize] as usize;
+        let end = self.inv_offsets[v as usize + 1] as usize;
+        let mut sid = 0u32;
+        let mut dropped = 0usize;
+        while k < end {
+            sid += varint_read(&self.inv_bytes, &mut k);
+            if !self.covered[sid as usize] {
+                self.drop_set(sid as usize);
+                dropped += 1;
+            }
+        }
+        // Pending sets are not in the inverted CSR yet: scan the tail, as
+        // `cover_with` does.
+        for sid in self.indexed_sets..self.covered.len() {
+            let a = self.set_offsets[sid] as usize;
+            let b = self.set_offsets[sid + 1] as usize;
+            if !self.covered[sid] && self.set_nodes[a..b].contains(&v) {
+                self.drop_set(sid);
+                dropped += 1;
+            }
+        }
+        debug_assert_eq!(self.cov[v as usize], 0);
+        self.covered_live += dropped;
+        self.total_sets -= dropped;
+        dropped
+    }
+
+    /// Marks one live set dropped (tombstoned), decrementing its members'
+    /// counts without crediting `covered_total`/`covered_weight` — the
+    /// set leaves both the numerator and (via the caller's `total_sets`
+    /// decrement) the denominator. Reuses the `covered` flag as the
+    /// tombstone: every downstream path (traversal skips, rebuild drops)
+    /// already treats flagged sets as gone.
+    fn drop_set(&mut self, sid: usize) {
+        self.covered[sid] = true;
+        let a = self.set_offsets[sid] as usize;
+        let b = self.set_offsets[sid + 1] as usize;
+        if self.weighted {
+            let w = f64::from(self.weights[sid]);
+            for &u in &self.set_nodes[a..b] {
+                self.cov[u as usize] -= 1;
+                self.wcov[u as usize] -= w;
+            }
+        } else {
+            for &u in &self.set_nodes[a..b] {
+                self.cov[u as usize] -= 1;
+            }
+        }
+    }
+
     /// Marks one live set covered, decrementing its members' counts.
     fn cover_set(&mut self, sid: usize) {
         self.covered[sid] = true;
@@ -984,6 +1049,70 @@ mod tests {
         assert_eq!(idx.num_sets(), 404);
         assert_eq!(idx.coverage(1), 1);
         assert_eq!(idx.cover_with(1), 1);
+    }
+
+    #[test]
+    fn tombstone_removes_sets_from_both_sides_of_the_estimate() {
+        let mut idx = build(4, &[&[0, 1], &[1, 2], &[1], &[3]]);
+        // Tombstoning node 1's sets shrinks θ and the members' counts, and
+        // credits nothing to the covered numerator.
+        assert_eq!(idx.tombstone_containing(1), 3);
+        assert_eq!(idx.num_sets(), 1, "θ shrinks with the tombstoned sets");
+        assert_eq!(idx.covered_total(), 0);
+        assert_eq!(idx.coverage(0), 0);
+        assert_eq!(idx.coverage(2), 0);
+        assert_eq!(idx.coverage(3), 1);
+        // Tombstone-and-reingest preserves θ: adding 3 replacement sets
+        // restores the denominator.
+        let repl: RrArena = [&[0u32][..], &[2], &[0, 2]].into_iter().collect();
+        idx.add_batch(&repl, &[false; 4]);
+        assert_eq!(idx.num_sets(), 4);
+        assert_eq!(idx.coverage(0), 2);
+        // Tombstoning again is a no-op for already-dropped sets.
+        assert_eq!(idx.tombstone_containing(1), 0);
+    }
+
+    #[test]
+    fn tombstone_skips_covered_sets_and_compacts() {
+        let mut idx = build(4, &[&[0, 1], &[1, 2], &[3]]);
+        idx.cover_with(0);
+        // Set {0,1} is covered: tombstoning node 1 drops only {1,2}.
+        assert_eq!(idx.tombstone_containing(1), 1);
+        assert_eq!(idx.num_sets(), 2);
+        assert_eq!(idx.covered_total(), 1, "covered credit survives");
+        assert_eq!(idx.coverage(2), 0);
+        let before = idx.memory_bytes();
+        idx.compact();
+        assert!(
+            idx.memory_bytes() <= before,
+            "compact reclaims tombstoned storage"
+        );
+        // Still fully usable: the surviving set {3} covers as usual.
+        assert_eq!(idx.cover_with(3), 1);
+        assert_eq!(idx.covered_total(), 2);
+    }
+
+    #[test]
+    fn tombstone_reaches_the_pending_tail() {
+        let mut idx = build(6, &[&[0, 1], &[2]]);
+        // Small batch stays pending (below the fold threshold).
+        let tail: RrArena = [&[1u32, 3][..], &[4]].into_iter().collect();
+        idx.add_batch(&tail, &[false; 6]);
+        assert_eq!(idx.tombstone_containing(1), 2);
+        assert_eq!(idx.num_sets(), 2);
+        assert_eq!(idx.coverage(0), 0);
+        assert_eq!(idx.coverage(3), 0);
+        assert_eq!(idx.coverage(4), 1);
+    }
+
+    #[test]
+    fn weighted_tombstone_drops_weight_without_crediting_it() {
+        let mut idx = build_weighted(4, &[&[0, 1], &[1, 2], &[3]], &[0.5, 2.0, 4.0]);
+        assert_eq!(idx.tombstone_containing(1), 2);
+        assert_eq!(idx.num_sets(), 1);
+        assert_eq!(idx.covered_weight(), 0.0);
+        assert_eq!(idx.coverage_weight(0), 0.0);
+        assert_eq!(idx.coverage_weight(3), 4.0);
     }
 
     #[test]

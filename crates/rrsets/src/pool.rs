@@ -156,6 +156,16 @@ pub struct SharedRrPool {
     groups: Vec<PoolGroup>,
     /// Per-ad `(group, tenant position)`; `None` = [`TenantMode::Private`].
     assignment: Vec<Option<(usize, usize)>>,
+    /// Per-ad departure flags ([`Self::release_tenant`]): a departed
+    /// tenant's slot stays reserved — group indices, stream seeds and the
+    /// reference mixture never move — but it no longer holds the group's
+    /// arena resident. When the *last* tenant of a group departs, the
+    /// group's arena, weight rows and cached pilots are dropped; a
+    /// re-arrival regrows the same deterministic stream from scratch.
+    departed: Vec<bool>,
+    /// Worker-thread cap applied to every group sampler (recorded so
+    /// [`Self::apply_delta`]'s rebuilt samplers keep the build-time cap).
+    thread_cap: usize,
 }
 
 /// Both support conditions of the importance weight (module docs) over the
@@ -294,7 +304,13 @@ impl SharedRrPool {
                 }
             })
             .collect();
-        SharedRrPool { groups, assignment }
+        let departed = vec![false; assignment.len()];
+        SharedRrPool {
+            groups,
+            assignment,
+            departed,
+            thread_cap,
+        }
     }
 
     /// This ad's relation to the pool (see [`TenantMode`]). Ads beyond the
@@ -405,6 +421,167 @@ impl SharedRrPool {
             .flatten()
             .filter(|&&(gid, pos)| self.groups[gid].specs[pos].gamma.is_some())
             .count()
+    }
+
+    /// Marks a tenant departed (advertiser removal). Its slot stays
+    /// reserved — group indices, stream seeds and the reference mixture are
+    /// pinned at build time — but when the *last* tenant of its group
+    /// departs, the group's arena, weight rows and cached KPT pilots are
+    /// dropped, returning the pool's resident memory for that model. A
+    /// later [`Self::restore_tenant`] + `with_range` regrows the identical
+    /// deterministic stream from scratch. Returns `true` when this
+    /// departure emptied the group and its state was dropped.
+    pub fn release_tenant(&mut self, ad: usize) -> bool {
+        let Some((gid, _)) = self.assignment.get(ad).copied().flatten() else {
+            return false;
+        };
+        self.departed[ad] = true;
+        let group = &self.groups[gid];
+        if !group.specs.iter().all(|t| self.departed[t.ad]) {
+            return false;
+        }
+        let mut st = lock_group(group);
+        st.arena = RrArena::new();
+        for w in &mut st.weights {
+            *w = Vec::new();
+        }
+        st.kpt.clear();
+        true
+    }
+
+    /// Re-activates a departed tenant (advertiser re-arrival). No-op for
+    /// private ads and tenants that never departed.
+    pub fn restore_tenant(&mut self, ad: usize) {
+        if ad < self.departed.len() {
+            self.departed[ad] = false;
+        }
+    }
+
+    /// Repairs the pool after a graph delta: rebuilds every group's
+    /// sampling (and reweight) tables on the new graph, then resamples —
+    /// *in place*, under the unchanged per-set stream seeds — exactly the
+    /// arena sets whose traces the delta could have touched: the sets
+    /// containing a changed-edge **target** (`changed[v]`). A reverse RR
+    /// walk only examines the in-edges of nodes it visits, so a set free of
+    /// changed targets replays bit-identically on the new graph; after the
+    /// repair each group arena is bit-identical to a cold resample of the
+    /// same range on the new graph. Reweighted tenants' importance weights
+    /// are recomputed for the resampled sets (untouched sets keep their
+    /// weights: identical trajectories have identical likelihood ratios).
+    /// Cached KPT pilots are dropped — a tenant arriving after the delta
+    /// re-pilots on the new graph. Returns the number of sets resampled.
+    ///
+    /// `models` must be the post-delta models of the same ads, in the same
+    /// order, grouped identically (same pricing rule): tenant grouping is
+    /// pinned at build time and is not re-derived here.
+    pub fn apply_delta(
+        &mut self,
+        g: &CsrGraph,
+        models: &[DiffusionModel],
+        changed: &[bool],
+    ) -> u64 {
+        // INVARIANT: API contract — one post-delta model per build-time ad.
+        assert_eq!(models.len(), self.assignment.len(), "model per ad");
+        let mut resampled = 0u64;
+        for group in &mut self.groups {
+            let founder = &models[group.specs[0].ad];
+            let mut sampler = PreparedSampler::for_model(g, founder);
+            sampler.set_thread_cap(self.thread_cap);
+            group.sampler = sampler;
+            if group.reweight.is_some() {
+                // INVARIANT: grouping is pinned at build time, where a
+                // reweighted group's founder was checked to be TIC.
+                let (tic, gamma_ref) = founder.tic_parts().expect("reweighted group must be TIC");
+                let shared = tic.in_slot_view(g);
+                let gamma_ref = gamma_ref.weights().to_vec();
+                let skip_ln = gather_tic_skip_ln(g, &shared, &gamma_ref);
+                group.reweight = Some(ReweightTables {
+                    shared,
+                    gamma_ref,
+                    skip_ln,
+                });
+            }
+            let PoolGroup {
+                sampler,
+                reweight,
+                specs,
+                sample_seed,
+                state,
+                ..
+            } = group;
+            // INVARIANT: see `lock_group` — poisoning means a sibling
+            // panicked mid-growth; propagating is the only sound response.
+            let st = state.get_mut().expect("pool group lock poisoned");
+            st.kpt.clear();
+            let invalid: Vec<usize> = (0..st.arena.len())
+                .filter(|&i| st.arena.get(i).iter().any(|&u| changed[u as usize]))
+                .collect();
+            if invalid.is_empty() {
+                continue;
+            }
+            let mut repl = RrArena::new();
+            match reweight {
+                None => {
+                    // Per-set seeds depend only on the global set index
+                    // (`first_index + i`), so a one-set batch at
+                    // `first_index = id` replays exactly set `id`'s stream.
+                    for &id in &invalid {
+                        let (one, _) = sampler.sample_batch(g, 1, *sample_seed, id as u64);
+                        repl.append(&one);
+                    }
+                }
+                Some(rw) => {
+                    let rw_tenants: Vec<(usize, &[f32])> = specs
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(pos, t)| t.gamma.as_deref().map(|gm| (pos, gm)))
+                        .collect();
+                    for &id in &invalid {
+                        let ln_acc = RefCell::new(vec![0.0f64; rw_tenants.len()]);
+                        let new_w = RefCell::new(Vec::with_capacity(rw_tenants.len()));
+                        sample_tic_rr_range_traced(
+                            g,
+                            &rw.shared,
+                            &rw.gamma_ref,
+                            &rw.skip_ln,
+                            *sample_seed,
+                            0,
+                            id,
+                            id + 1,
+                            &mut repl,
+                            |slot, accepted| {
+                                let q = threshold(rw.shared.mixed_prob(slot, &rw.gamma_ref));
+                                let mut acc = ln_acc.borrow_mut();
+                                for (a, &(_, gamma)) in acc.iter_mut().zip(&rw_tenants) {
+                                    let t = threshold(rw.shared.mixed_prob(slot, gamma));
+                                    if t == q {
+                                        continue;
+                                    }
+                                    *a += if accepted {
+                                        (f64::from(t) / f64::from(q)).ln()
+                                    } else {
+                                        (f64::from(COIN_FULL - t) / f64::from(COIN_FULL - q)).ln()
+                                    };
+                                }
+                            },
+                            |_width| {
+                                let acc = ln_acc.borrow();
+                                let mut out = new_w.borrow_mut();
+                                for (a, &(pos, _)) in acc.iter().zip(&rw_tenants) {
+                                    out.push((pos, a.exp() as f32));
+                                }
+                            },
+                        );
+                        for (pos, w) in new_w.into_inner() {
+                            st.weights[pos][id] = w;
+                        }
+                    }
+                }
+            }
+            st.arena.replace_sets(&invalid, &repl);
+            resampled += invalid.len() as u64;
+        }
+        resampled
     }
 }
 
@@ -763,6 +940,101 @@ mod tests {
         // deterministic.
         let c = pool.kpt(&g, 0, 2, &tim).unwrap();
         assert_eq!(c.calibration().0, 2);
+    }
+
+    #[test]
+    fn release_frees_group_on_last_departure_and_regrowth_is_deterministic() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = AdProbs::from_vec(vec![0.5; 3]);
+        let models = vec![DiffusionModel::ic(p.clone()), DiffusionModel::ic(p)];
+        let mut pool = SharedRrPool::build(&g, &models, 23, usize::MAX);
+        let before = pool
+            .with_range(&g, 0, 0, 100, |a, _, _, _| a.clone())
+            .unwrap();
+        let grown = pool.memory_bytes();
+        // First departure keeps the group resident for the surviving tenant.
+        assert!(!pool.release_tenant(0));
+        assert_eq!(pool.sets_sampled(), 100);
+        // Last departure drops the arena.
+        assert!(pool.release_tenant(1));
+        assert_eq!(pool.sets_sampled(), 0);
+        assert!(
+            pool.memory_bytes() < grown,
+            "emptied group must return its resident memory"
+        );
+        // Re-arrival regrows the identical deterministic stream.
+        pool.restore_tenant(0);
+        pool.with_range(&g, 0, 0, 100, |a, _, _, _| assert_eq!(a, &before))
+            .unwrap();
+        // Private / out-of-range ads are inert no-ops.
+        assert!(!pool.release_tenant(7));
+        pool.restore_tenant(7);
+    }
+
+    #[test]
+    fn apply_delta_resamples_exactly_the_changed_target_sets() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let models = vec![DiffusionModel::ic(AdProbs::from_vec(vec![0.5; 3]))];
+        let mut pool = SharedRrPool::build(&g, &models, 29, usize::MAX);
+        let theta = 200;
+        let invalid = pool
+            .with_range(&g, 0, 0, theta, |a, _, _, _| {
+                a.iter().filter(|s| s.contains(&3)).count()
+            })
+            .unwrap();
+        assert!(invalid > 0 && invalid < theta, "test needs a partial hit");
+        // Remove edge (2, 3): only node 3's in-slots change, so only sets
+        // containing 3 can have diverging traces.
+        let g2 = graph_from_edges(4, &[(0, 1), (1, 2)]);
+        let models2 = vec![DiffusionModel::ic(AdProbs::from_vec(vec![0.5; 2]))];
+        let changed = [false, false, false, true];
+        let resampled = pool.apply_delta(&g2, &models2, &changed);
+        assert_eq!(resampled, invalid as u64);
+        // After the repair the arena is bit-identical to a cold pool grown
+        // on the post-delta graph under the same seed.
+        let cold = SharedRrPool::build(&g2, &models2, 29, usize::MAX);
+        let want = cold
+            .with_range(&g2, 0, 0, theta, |a, _, _, _| a.clone())
+            .unwrap();
+        pool.with_range(&g2, 0, 0, theta, |a, _, _, _| assert_eq!(a, &want))
+            .unwrap();
+    }
+
+    #[test]
+    fn apply_delta_repairs_reweighted_groups_with_their_weights() {
+        let g = star_chain();
+        let tic = star_chain_tic(&g);
+        let models = vec![
+            DiffusionModel::tic(Arc::clone(&tic), TopicDistribution::uniform(2)),
+            DiffusionModel::tic(Arc::clone(&tic), TopicDistribution::new(&[0.7, 0.3])),
+        ];
+        let mut pool = SharedRrPool::build(&g, &models, 31, usize::MAX);
+        let theta = 300;
+        pool.with_range(&g, 1, 0, theta, |_, _, _, _| ()).unwrap();
+        // Remove chain edge (21, 22): only node 22's in-slots change.
+        let mut edges: Vec<(u32, u32)> = (0..20).map(|leaf| (leaf, 20)).collect();
+        edges.extend([(20, 21), (22, 0)]);
+        let g2 = graph_from_edges(23, &edges);
+        let tic2 = star_chain_tic(&g2);
+        let models2 = vec![
+            DiffusionModel::tic(Arc::clone(&tic2), TopicDistribution::uniform(2)),
+            DiffusionModel::tic(Arc::clone(&tic2), TopicDistribution::new(&[0.7, 0.3])),
+        ];
+        let mut changed = [false; 23];
+        changed[22] = true;
+        let resampled = pool.apply_delta(&g2, &models2, &changed);
+        assert!(resampled > 0 && (resampled as usize) < theta);
+        let cold = SharedRrPool::build(&g2, &models2, 31, usize::MAX);
+        let (want_a, want_w) = cold
+            .with_range(&g2, 1, 0, theta, |a, _, _, w| {
+                (a.clone(), w.unwrap().to_vec())
+            })
+            .unwrap();
+        pool.with_range(&g2, 1, 0, theta, |a, _, _, w| {
+            assert_eq!(a, &want_a, "repaired arena must match a cold resample");
+            assert_eq!(w.unwrap(), &want_w[..], "weights must be recomputed");
+        })
+        .unwrap();
     }
 
     #[test]
